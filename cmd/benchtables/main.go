@@ -1,0 +1,116 @@
+// Command benchtables regenerates the paper's evaluation artifacts on the
+// synthetic testcases:
+//
+//	benchtables -table 1       # Table 1: non-weighted PIL-Fill synthesis
+//	benchtables -table 2       # Table 2: weighted PIL-Fill synthesis
+//	benchtables -fig 2         # capacitance model comparison (Fig 2 analog)
+//	benchtables -fig 3         # Elmore additivity on an RC chain (Fig 3)
+//	benchtables -fig 4         # slack-column definitions I/II/III (Figs 4-6)
+//	benchtables -all           # everything
+//	benchtables -table 1 -rows T1/32/2,T2/20/8   # a subset of rows
+//
+// Absolute numbers differ from the paper (synthetic layouts, different
+// machine and solver); the comparisons of interest are the method ordering,
+// the reduction factors versus Normal fill, and the CPU ordering.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"pilfill/internal/harness"
+)
+
+func fail(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "benchtables: "+format+"\n", args...)
+	os.Exit(1)
+}
+
+func runTable(n int, rowFilter string) {
+	weighted := n == 2
+	title := fmt.Sprintf("Table %d: %s PIL-Fill synthesis (synthetic T1/T2)", n,
+		map[bool]string{false: "non-weighted", true: "weighted"}[weighted])
+	var rows []*harness.Row
+	if rowFilter == "" {
+		all, err := harness.RunTable(weighted)
+		if err != nil {
+			fail("%v", err)
+		}
+		rows = all
+	} else {
+		for _, spec := range strings.Split(rowFilter, ",") {
+			parts := strings.Split(strings.TrimSpace(spec), "/")
+			if len(parts) != 3 {
+				fail("bad row spec %q (want T1/32/2)", spec)
+			}
+			w, err1 := strconv.Atoi(parts[1])
+			r, err2 := strconv.Atoi(parts[2])
+			if err1 != nil || err2 != nil {
+				fail("bad row spec %q", spec)
+			}
+			row, err := harness.RunRow(parts[0], w, r, weighted)
+			if err != nil {
+				fail("%v", err)
+			}
+			rows = append(rows, row)
+		}
+	}
+	harness.PrintTable(os.Stdout, title, rows)
+	fmt.Println()
+}
+
+func runFig(n int) {
+	switch n {
+	case 2:
+		harness.PrintFig2(os.Stdout)
+	case 3:
+		harness.PrintFig3(os.Stdout)
+	case 4, 5, 6:
+		if err := harness.PrintFigSlack(os.Stdout, "T1", 32, 4); err != nil {
+			fail("%v", err)
+		}
+		if err := harness.PrintFigSlack(os.Stdout, "T2", 32, 4); err != nil {
+			fail("%v", err)
+		}
+	default:
+		fail("no figure %d (figures 2-6 have quantitative analogs; 1, 7, 8 are framework/pseudocode)", n)
+	}
+	fmt.Println()
+}
+
+func main() {
+	var (
+		table = flag.Int("table", 0, "regenerate table 1 or 2")
+		fig   = flag.Int("fig", 0, "regenerate a figure analog (2, 3, or 4 for the 4-6 group)")
+		all   = flag.Bool("all", false, "regenerate everything")
+		rows  = flag.String("rows", "", "comma-separated subset of table rows, e.g. T1/32/2,T2/20/8")
+	)
+	flag.Parse()
+
+	if *all {
+		runTable(1, *rows)
+		runTable(2, *rows)
+		runFig(2)
+		runFig(3)
+		runFig(4)
+		return
+	}
+	did := false
+	if *table == 1 || *table == 2 {
+		runTable(*table, *rows)
+		did = true
+	} else if *table != 0 {
+		fail("no table %d", *table)
+	}
+	if *fig != 0 {
+		runFig(*fig)
+		did = true
+	}
+	if !did {
+		flag.Usage()
+		os.Exit(2)
+	}
+}

@@ -1,0 +1,74 @@
+// Command layoutgen generates the synthetic testcases (T1, T2, or a custom
+// spec) and writes them in the DEF subset dialect.
+//
+// Usage:
+//
+//	layoutgen -case T1 -o t1.def
+//	layoutgen -case T2 -seed 7 -o t2.def
+//	layoutgen -case custom -die 128000 -nets 50 -o small.def
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"pilfill/internal/def"
+	"pilfill/internal/testcases"
+)
+
+func main() {
+	var (
+		caseName = flag.String("case", "T1", "testcase: T1, T2, T3, or custom")
+		out      = flag.String("o", "", "output DEF path (default stdout)")
+		seed     = flag.Int64("seed", 0, "override the spec's RNG seed (0 = keep default)")
+		dieSide  = flag.Int64("die", 128000, "custom: die side in nm")
+		nets     = flag.Int("nets", 50, "custom: number of nets")
+	)
+	flag.Parse()
+
+	var spec testcases.Spec
+	switch *caseName {
+	case "T1", "t1":
+		spec = testcases.T1()
+	case "T2", "t2":
+		spec = testcases.T2()
+	case "T3", "t3":
+		spec = testcases.T3()
+	case "custom":
+		spec = testcases.T1()
+		spec.Name = "custom"
+		spec.DieSide = *dieSide
+		spec.NumNets = *nets
+		spec.TrunkMax = *dieSide / 2
+		spec.TrunkMin = *dieSide / 8
+	default:
+		fmt.Fprintf(os.Stderr, "layoutgen: unknown case %q\n", *caseName)
+		os.Exit(2)
+	}
+	if *seed != 0 {
+		spec.Seed = *seed
+	}
+
+	l, err := testcases.Generate(spec)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "layoutgen: %v\n", err)
+		os.Exit(1)
+	}
+
+	w := os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "layoutgen: %v\n", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		w = f
+	}
+	if err := def.Write(w, l); err != nil {
+		fmt.Fprintf(os.Stderr, "layoutgen: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Fprintf(os.Stderr, "layoutgen: wrote %s (%d nets, die %d nm)\n", spec.Name, len(l.Nets), spec.DieSide)
+}

@@ -1,0 +1,201 @@
+// Command pilfill runs performance-impact limited fill synthesis on a DEF
+// layout (or a built-in synthetic testcase) and reports the delay impact and
+// density control, optionally writing the filled layout back out as DEF or
+// GDSII.
+//
+// Usage:
+//
+//	pilfill -case T1 -window 32 -r 4 -method ILP-II
+//	pilfill -in chip.def -window 20 -r 2 -method Greedy -odef filled.def
+//	pilfill -case T2 -method all -weighted
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"pilfill"
+	"pilfill/internal/core"
+	"pilfill/internal/layout"
+	"pilfill/internal/testcases"
+)
+
+func fail(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "pilfill: "+format+"\n", args...)
+	os.Exit(1)
+}
+
+func parseMethod(s string) (core.Method, bool) {
+	switch strings.ToLower(s) {
+	case "normal":
+		return core.Normal, true
+	case "greedy":
+		return core.Greedy, true
+	case "ilp-i", "ilpi", "ilp1":
+		return core.ILPI, true
+	case "ilp-ii", "ilpii", "ilp2":
+		return core.ILPII, true
+	case "dp":
+		return core.DP, true
+	case "marginal", "marginalgreedy":
+		return core.MarginalGreedy, true
+	case "greedycapped", "capped":
+		return core.GreedyCapped, true
+	}
+	return 0, false
+}
+
+func main() {
+	var (
+		in       = flag.String("in", "", "input DEF (subset dialect); empty = use -case")
+		lefPath  = flag.String("lef", "", "optional LEF supplying the layer definitions for -in")
+		caseName = flag.String("case", "T1", "built-in testcase when -in is empty: T1 or T2")
+		window   = flag.Int("window", 32, "window size in W units of 1.6 um (paper: 32 or 20)")
+		r        = flag.Int("r", 4, "dissection factor r (paper: 2, 4, 8)")
+		method   = flag.String("method", "ILP-II", "Normal|Greedy|ILP-I|ILP-II|DP|MarginalGreedy|GreedyCapped|all")
+		weighted = flag.Bool("weighted", false, "optimize the sink-weighted objective (Table 2)")
+		defName  = flag.Int("slackdef", 3, "slack column definition: 1, 2, or 3")
+		seed     = flag.Int64("seed", 1, "random seed for budgeting and the Normal baseline")
+		netCap   = flag.Float64("netcap", 0, "per-net added delay cap in ps (0 = off)")
+		odef     = flag.String("odef", "", "write the filled layout as DEF to this path")
+		ogds     = flag.String("ogds", "", "write the filled layout as GDSII to this path")
+		osvg     = flag.String("osvg", "", "write the filled layout as SVG to this path")
+		verify   = flag.Bool("verify", false, "run the fill DRC on the last result")
+		timingN  = flag.Int("timing", 0, "print a timing report for the worst N nets of the last result")
+		workers  = flag.Int("workers", 0, "solve tiles concurrently with this many workers")
+		grounded = flag.Bool("grounded", false, "model grounded (tied) fill instead of floating fill")
+	)
+	flag.Parse()
+
+	var l *layout.Layout
+	var err error
+	if *in != "" {
+		f, err := os.Open(*in)
+		if err != nil {
+			fail("%v", err)
+		}
+		if *lefPath != "" {
+			lf, err := os.Open(*lefPath)
+			if err != nil {
+				fail("%v", err)
+			}
+			l, err = pilfill.LoadLEFDEF(lf, f)
+			lf.Close()
+			f.Close()
+			if err != nil {
+				fail("%v", err)
+			}
+		} else {
+			l, err = pilfill.LoadDEF(f)
+			f.Close()
+			if err != nil {
+				fail("%v", err)
+			}
+		}
+	} else {
+		switch strings.ToUpper(*caseName) {
+		case "T1":
+			l, err = pilfill.GenerateT1()
+		case "T2":
+			l, err = pilfill.GenerateT2()
+		default:
+			fail("unknown case %q", *caseName)
+		}
+		if err != nil {
+			fail("%v", err)
+		}
+	}
+
+	opts := pilfill.Options{
+		Window:   testcases.WindowNM(*window),
+		R:        *r,
+		Rule:     pilfill.DefaultRuleT1T2(),
+		Weighted: *weighted,
+		Def:      pilfill.SlackDef(*defName),
+		Seed:     *seed,
+		NetCap:   *netCap * 1e-12,
+		Workers:  *workers,
+		Grounded: *grounded,
+	}
+	s, err := pilfill.NewSession(l, opts)
+	if err != nil {
+		fail("%v", err)
+	}
+	fmt.Printf("layout %s: %d nets, budget %d fill features, prep %.0f ms\n",
+		l.Name, len(l.Nets), s.Budget.Total(), float64(s.PrepTime)/1e6)
+
+	var methods []core.Method
+	if strings.EqualFold(*method, "all") {
+		methods = []core.Method{core.Normal, core.ILPI, core.ILPII, core.Greedy}
+	} else {
+		m, ok := parseMethod(*method)
+		if !ok {
+			fail("unknown method %q", *method)
+		}
+		methods = []core.Method{m}
+	}
+
+	var last *pilfill.Report
+	for _, m := range methods {
+		rep, err := s.Run(m)
+		if err != nil {
+			fail("%v: %v", m, err)
+		}
+		fmt.Print(rep.Summary())
+		last = rep
+	}
+
+	if *odef != "" && last != nil {
+		f, err := os.Create(*odef)
+		if err != nil {
+			fail("%v", err)
+		}
+		if err := pilfill.SaveDEF(f, l, last.Result.Fill); err != nil {
+			fail("%v", err)
+		}
+		f.Close()
+		fmt.Printf("wrote %s\n", *odef)
+	}
+	if *ogds != "" && last != nil {
+		f, err := os.Create(*ogds)
+		if err != nil {
+			fail("%v", err)
+		}
+		if err := pilfill.SaveGDS(f, l, last.Result.Fill, 100); err != nil {
+			fail("%v", err)
+		}
+		f.Close()
+		fmt.Printf("wrote %s\n", *ogds)
+	}
+	if *osvg != "" && last != nil {
+		f, err := os.Create(*osvg)
+		if err != nil {
+			fail("%v", err)
+		}
+		if err := s.SaveSVG(f, last.Result.Fill); err != nil {
+			fail("%v", err)
+		}
+		f.Close()
+		fmt.Printf("wrote %s\n", *osvg)
+	}
+	if *verify && last != nil {
+		vs := s.Verify(last)
+		if len(vs) == 0 {
+			fmt.Println("DRC clean")
+		} else {
+			for _, v := range vs {
+				fmt.Printf("DRC: %v\n", v)
+			}
+			os.Exit(1)
+		}
+	}
+	if *timingN > 0 && last != nil {
+		tr, err := s.TimingReport(last)
+		if err != nil {
+			fail("%v", err)
+		}
+		tr.WriteText(os.Stdout, *timingN)
+	}
+}

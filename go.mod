@@ -1,0 +1,3 @@
+module pilfill
+
+go 1.22

@@ -1,0 +1,41 @@
+package cap
+
+import "fmt"
+
+// Switch-factor modeling after Kahng, Muddu, Sarto, "On Switch Factor Based
+// Analysis of Coupled RC Interconnects" (DAC 2000) — the paper's reference
+// [9]. A coupling capacitance C_c between a victim and an aggressor behaves,
+// for delay purposes, like C_c multiplied by a switch factor that depends on
+// the aggressor's activity:
+//
+//	0  aggressor switches in phase with the victim (best case)
+//	1  aggressor quiet (the nominal value used by the fill objective)
+//	2  aggressor switches in the opposite phase (classic worst case)
+//	3  worst case accounting for unequal slews
+//
+// Floating fill between two active lines increases their mutual coupling,
+// so the fill-induced delay deltas this library reports scale by the same
+// factor under switching-neighbor analysis.
+
+// Switch factors for the standard aggressor-activity cases.
+const (
+	SwitchInPhase  = 0.0
+	SwitchQuiet    = 1.0
+	SwitchOpposite = 2.0
+	SwitchWorst    = 3.0
+)
+
+// EffectiveCoupling scales a coupling-capacitance delta by a switch factor.
+// It panics on negative inputs (a modeling error upstream).
+func EffectiveCoupling(deltaC, switchFactor float64) float64 {
+	if deltaC < 0 || switchFactor < 0 {
+		panic(fmt.Sprintf("cap: EffectiveCoupling(%g, %g)", deltaC, switchFactor))
+	}
+	return deltaC * switchFactor
+}
+
+// SwitchFactorBounds returns the best- and worst-case effective coupling for
+// a delta, bracketing the quiet-neighbor value the optimizer uses.
+func SwitchFactorBounds(deltaC float64) (best, worst float64) {
+	return EffectiveCoupling(deltaC, SwitchInPhase), EffectiveCoupling(deltaC, SwitchWorst)
+}

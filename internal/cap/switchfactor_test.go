@@ -1,0 +1,55 @@
+package cap
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestEffectiveCoupling(t *testing.T) {
+	dc := proc.DeltaExact(2, 100, 1000)
+	if got := EffectiveCoupling(dc, SwitchQuiet); got != dc {
+		t.Errorf("quiet factor changed the value: %g != %g", got, dc)
+	}
+	if got := EffectiveCoupling(dc, SwitchOpposite); got != 2*dc {
+		t.Errorf("opposite = %g, want %g", got, 2*dc)
+	}
+	if got := EffectiveCoupling(dc, SwitchInPhase); got != 0 {
+		t.Errorf("in-phase = %g, want 0", got)
+	}
+}
+
+func TestEffectiveCouplingPanics(t *testing.T) {
+	for i, f := range []func(){
+		func() { EffectiveCoupling(-1, 1) },
+		func() { EffectiveCoupling(1, -0.5) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("case %d: expected panic", i)
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestSwitchFactorBounds(t *testing.T) {
+	dc := 1e-16
+	best, worst := SwitchFactorBounds(dc)
+	if best != 0 || worst != 3*dc {
+		t.Errorf("bounds = (%g, %g), want (0, %g)", best, worst, 3*dc)
+	}
+}
+
+func TestQuickSwitchFactorMonotone(t *testing.T) {
+	f := func(raw uint8, raw2 uint8) bool {
+		dc := float64(raw) * 1e-18
+		sf1 := float64(raw2%30) / 10
+		sf2 := sf1 + 0.5
+		return EffectiveCoupling(dc, sf1) <= EffectiveCoupling(dc, sf2)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

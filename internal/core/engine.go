@@ -1,0 +1,412 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"sync"
+	"time"
+
+	"pilfill/internal/cap"
+	"pilfill/internal/density"
+	"pilfill/internal/ilp"
+	"pilfill/internal/layout"
+	"pilfill/internal/rc"
+	"pilfill/internal/scanline"
+)
+
+// Method selects a PIL-Fill placement algorithm.
+type Method int
+
+// Placement methods. Normal is the density-only baseline; Greedy, ILPI and
+// ILPII are the paper's three approaches; DP, MarginalGreedy and
+// GreedyCapped are this implementation's extensions (exact reference,
+// provably-optimal greedy, and the footnote's bounded-net-delay variant).
+const (
+	Normal Method = iota
+	Greedy
+	ILPI
+	ILPII
+	DP
+	MarginalGreedy
+	GreedyCapped
+)
+
+// String names the method as in the paper's tables.
+func (m Method) String() string {
+	switch m {
+	case Normal:
+		return "Normal"
+	case Greedy:
+		return "Greedy"
+	case ILPI:
+		return "ILP-I"
+	case ILPII:
+		return "ILP-II"
+	case DP:
+		return "DP"
+	case MarginalGreedy:
+		return "MarginalGreedy"
+	case GreedyCapped:
+		return "GreedyCapped"
+	}
+	return fmt.Sprintf("Method(%d)", int(m))
+}
+
+// Config parameterizes an Engine.
+type Config struct {
+	Layer    int          // routing layer to fill
+	Def      scanline.Def // slack-column definition (0 = DefIII)
+	Weighted bool         // optimize the sink-weighted objective
+	Proc     cap.Process  // electrical model (zero value = cap.Default130)
+	ILPOpts  ilp.Options  // branch-and-bound limits
+	Seed     int64        // randomness for the Normal baseline
+	// NetCap bounds each net's added delay per tile for the capped methods,
+	// in seconds (interconnect deltas are femtoseconds, far below what
+	// time.Duration can represent). 0 disables the bound.
+	NetCap float64
+	// Activity optionally holds per-net switching activities in [0, 1] for
+	// crosstalk-aware costing (after Kahng/Muddu/Sarto's switch factors):
+	// the coupling a column adds to a victim line is scaled by
+	// 1 + activity(aggressor), the expected Miller factor. Nil means all
+	// aggressors quiet (factor 1, the paper's model).
+	Activity []float64
+	// Workers solves tile instances concurrently when > 1. Results are
+	// bit-identical to the serial run: tiles are independent, the Normal
+	// baseline derives its randomness per tile from (Seed, I, J), and the
+	// reduction happens in instance order.
+	Workers int
+	// Grounded models tied-to-ground fill instead of the paper's floating
+	// fill: heavier capacitive loading (cap.DeltaGrounded) in exchange for
+	// crosstalk shielding. Note the grounded cost curve has a step at the
+	// first feature, so MarginalGreedy (and the MVDC frontier built on it)
+	// loses its optimality guarantee and becomes a heuristic; DP and ILP-II
+	// remain exact.
+	Grounded bool
+}
+
+// Engine holds the per-layout preprocessing shared by all methods: RC
+// analyses of every net and the slack-column extraction.
+type Engine struct {
+	L        *layout.Layout
+	Dis      *layout.Dissection
+	Grid     *layout.SiteGrid
+	Occ      *layout.Occupancy
+	Rule     layout.FillRule
+	Cfg      Config
+	Analyses []*rc.Analysis
+	Tiles    [][]scanline.TileColumns
+}
+
+// NewEngine prepares a layout for fill synthesis: site grid, occupancy, RC
+// analysis of every net, and slack-column extraction under the configured
+// definition.
+func NewEngine(l *layout.Layout, dis *layout.Dissection, rule layout.FillRule, cfg Config) (*Engine, error) {
+	if err := l.Validate(); err != nil {
+		return nil, fmt.Errorf("core: %w", err)
+	}
+	if cfg.Def == 0 {
+		cfg.Def = scanline.DefIII
+	}
+	if cfg.Proc == (cap.Process{}) {
+		cfg.Proc = cap.Default130
+	}
+	if err := cfg.Proc.Validate(); err != nil {
+		return nil, fmt.Errorf("core: %w", err)
+	}
+	grid, err := layout.NewSiteGrid(l.Die, rule)
+	if err != nil {
+		return nil, fmt.Errorf("core: %w", err)
+	}
+	occ := layout.NewOccupancy(l, grid, cfg.Layer)
+	analyses := make([]*rc.Analysis, len(l.Nets))
+	for i, n := range l.Nets {
+		a, err := rc.Analyze(n, cfg.Proc)
+		if err != nil {
+			return nil, fmt.Errorf("core: net %q: %w", n.Name, err)
+		}
+		analyses[i] = a
+	}
+	tiles, err := scanline.Extract(l, cfg.Layer, dis, occ, cfg.Def)
+	if err != nil {
+		return nil, fmt.Errorf("core: %w", err)
+	}
+	return &Engine{
+		L: l, Dis: dis, Grid: grid, Occ: occ, Rule: rule, Cfg: cfg,
+		Analyses: analyses, Tiles: tiles,
+	}, nil
+}
+
+// Instances builds the per-tile MDFC instances for a fill budget. Tiles with
+// a zero budget produce no instance. Budgets exceeding a tile's slack-column
+// capacity are clamped (the difference is reported by Result.Requested vs
+// Placed after a Run).
+func (e *Engine) Instances(budget density.Budget) []*Instance {
+	var out []*Instance
+	for i := 0; i < e.Dis.NX; i++ {
+		for j := 0; j < e.Dis.NY; j++ {
+			want := budget[i][j]
+			if want <= 0 {
+				continue
+			}
+			in := e.buildInstance(i, j, want)
+			if len(in.Columns) > 0 {
+				out = append(out, in)
+			}
+		}
+	}
+	return out
+}
+
+// Result reports one method's placement and its measured impact.
+type Result struct {
+	Method     Method
+	Fill       *layout.FillSet
+	Requested  int           // total features the budget asked for
+	Placed     int           // features actually placed
+	Unweighted float64       // measured Σ ΔC·R over all lines, seconds
+	Weighted   float64       // measured Σ W_l·ΔC·R, seconds
+	PerNet     []float64     // unweighted added delay per net, seconds
+	CPU        time.Duration // solver wall time
+	Tiles      int           // instances solved
+	ILPNodes   int           // total branch-and-bound nodes (ILP methods)
+}
+
+// solveInstance dispatches one tile to the chosen solver. The Normal
+// baseline derives its randomness from (Seed, I, J) so tiles can be solved
+// in any order — or concurrently — with identical results.
+func (e *Engine) solveInstance(method Method, in *Instance) (Assignment, int, error) {
+	switch method {
+	case Normal:
+		seed := e.Cfg.Seed ^ (int64(in.I)*1_000_003+int64(in.J))*2_654_435_761
+		return SolveNormal(in, rand.New(rand.NewSource(seed))), 0, nil
+	case Greedy:
+		return SolveGreedy(in), 0, nil
+	case MarginalGreedy:
+		return SolveMarginalGreedy(in), 0, nil
+	case GreedyCapped:
+		return e.solveGreedyCapped(in), 0, nil
+	case DP:
+		a, err := SolveDP(in)
+		return a, 0, err
+	case ILPI:
+		a, sol, err := SolveILPI(in, &e.Cfg.ILPOpts)
+		nodes := 0
+		if sol != nil {
+			nodes = sol.Nodes
+		}
+		return a, nodes, err
+	case ILPII:
+		var nc *NetCap
+		if e.Cfg.NetCap > 0 {
+			nc = &NetCap{MaxAddedDelay: e.Cfg.NetCap}
+		}
+		a, sol, err := SolveILPII(in, &e.Cfg.ILPOpts, nc)
+		nodes := 0
+		if sol != nil {
+			nodes = sol.Nodes
+		}
+		return a, nodes, err
+	default:
+		return nil, 0, fmt.Errorf("core: unknown method %v", method)
+	}
+}
+
+// Run solves every instance with the chosen method and assembles the fill.
+// The instances must come from this engine's Instances call. With
+// Config.Workers > 1 the tiles are solved concurrently; the result is
+// identical to the serial run.
+func (e *Engine) Run(method Method, instances []*Instance) (*Result, error) {
+	res := &Result{
+		Method: method,
+		Fill:   &layout.FillSet{Grid: e.Grid, Layer: e.Cfg.Layer},
+		PerNet: make([]float64, len(e.L.Nets)),
+	}
+	start := time.Now()
+
+	type outcome struct {
+		a     Assignment
+		nodes int
+		err   error
+	}
+	outs := make([]outcome, len(instances))
+	if workers := e.Cfg.Workers; workers > 1 && len(instances) > 1 {
+		idx := make(chan int)
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for i := range idx {
+					a, nodes, err := e.solveInstance(method, instances[i])
+					outs[i] = outcome{a, nodes, err}
+				}
+			}()
+		}
+		for i := range instances {
+			idx <- i
+		}
+		close(idx)
+		wg.Wait()
+	} else {
+		for i, in := range instances {
+			a, nodes, err := e.solveInstance(method, in)
+			outs[i] = outcome{a, nodes, err}
+		}
+	}
+
+	// Deterministic reduction in instance order.
+	for i, in := range instances {
+		o := outs[i]
+		if o.err != nil {
+			return nil, fmt.Errorf("core: tile (%d,%d): %w", in.I, in.J, o.err)
+		}
+		res.ILPNodes += o.nodes
+		placed := 0
+		for _, m := range o.a {
+			placed += m
+		}
+		// Capped methods may under-place; everything else must hit F.
+		if method != GreedyCapped {
+			if err := in.Valid(o.a); err != nil {
+				return nil, fmt.Errorf("core: %v on tile (%d,%d): %w", method, in.I, in.J, err)
+			}
+		}
+		u, w := in.Evaluate(o.a)
+		res.Unweighted += u
+		res.Weighted += w
+		res.Requested += in.F
+		res.Placed += placed
+		res.Tiles++
+		e.accumulatePerNet(res.PerNet, in, o.a)
+		e.place(res.Fill, in, o.a)
+	}
+	res.CPU = time.Since(start)
+	return res, nil
+}
+
+// accumulatePerNet adds each bounding net's unweighted delay contribution.
+func (e *Engine) accumulatePerNet(perNet []float64, in *Instance, a Assignment) {
+	for k, m := range a {
+		cv := &in.Columns[k]
+		if m <= 0 || cv.DeltaC == nil {
+			continue
+		}
+		mm := m
+		if mm >= len(cv.DeltaC) {
+			mm = len(cv.DeltaC) - 1
+		}
+		dc := cv.DeltaC[mm]
+		if cv.NetLow >= 0 {
+			perNet[cv.NetLow] += dc * cv.RLow
+		}
+		if cv.NetHigh >= 0 {
+			perNet[cv.NetHigh] += dc * cv.RHigh
+		}
+	}
+}
+
+// place materializes an assignment into fill features: the m features of a
+// column take the free rows nearest the gap's vertical center (the block
+// abstraction of the capacitance model grows symmetrically).
+func (e *Engine) place(fs *layout.FillSet, in *Instance, a Assignment) {
+	for k, m := range a {
+		if m <= 0 {
+			continue
+		}
+		cv := &in.Columns[k]
+		col := cv.Col
+		free := make([]int, 0, col.RowHi-col.RowLo)
+		for r := col.RowLo; r < col.RowHi; r++ {
+			if !e.Occ.Blocked(col.Col, r) {
+				free = append(free, r)
+			}
+		}
+		center := (col.YLo + col.YHi) / 2
+		sort.Slice(free, func(a, b int) bool {
+			da := absI64(e.Grid.SiteY(free[a]) + e.Rule.Feature/2 - center)
+			db := absI64(e.Grid.SiteY(free[b]) + e.Rule.Feature/2 - center)
+			if da != db {
+				return da < db
+			}
+			return free[a] < free[b]
+		})
+		if m > len(free) {
+			m = len(free) // defensive; capacity == len(free) by construction
+		}
+		rows := append([]int(nil), free[:m]...)
+		sort.Ints(rows)
+		for _, r := range rows {
+			fs.Fills = append(fs.Fills, layout.Fill{Col: col.Col, Row: r})
+		}
+	}
+}
+
+// solveGreedyCapped runs the Fig 8 greedy with the footnote's safeguard: an
+// upper bound on each net's added delay. Columns are filled in cost order,
+// but the take is reduced so no bounding net exceeds the cap; the method may
+// therefore place fewer than F features.
+func (e *Engine) solveGreedyCapped(in *Instance) Assignment {
+	capS := e.Cfg.NetCap
+	if capS <= 0 {
+		return SolveGreedy(in)
+	}
+	type keyed struct {
+		k   int
+		key float64
+	}
+	keys := make([]keyed, len(in.Columns))
+	for k := range in.Columns {
+		cv := &in.Columns[k]
+		keys[k] = keyed{k: k, key: cv.costAt(cv.MaxM)}
+	}
+	sort.Slice(keys, func(a, b int) bool {
+		if keys[a].key != keys[b].key {
+			return keys[a].key < keys[b].key
+		}
+		return keys[a].k < keys[b].k
+	})
+	spent := map[int]float64{}
+	a := make(Assignment, len(in.Columns))
+	remaining := in.F
+	for _, kd := range keys {
+		if remaining == 0 {
+			break
+		}
+		cv := &in.Columns[kd.k]
+		take := cv.MaxM
+		if take > remaining {
+			take = remaining
+		}
+		if cv.DeltaC != nil {
+			for take > 0 {
+				dc := cv.DeltaC[take]
+				okLow := cv.NetLow < 0 || spent[cv.NetLow]+dc*cv.RLow <= capS
+				okHigh := cv.NetHigh < 0 || spent[cv.NetHigh]+dc*cv.RHigh <= capS
+				if okLow && okHigh {
+					break
+				}
+				take--
+			}
+			if take > 0 {
+				dc := cv.DeltaC[take]
+				if cv.NetLow >= 0 {
+					spent[cv.NetLow] += dc * cv.RLow
+				}
+				if cv.NetHigh >= 0 {
+					spent[cv.NetHigh] += dc * cv.RHigh
+				}
+			}
+		}
+		a[kd.k] = take
+		remaining -= take
+	}
+	return a
+}
+
+func absI64(v int64) int64 {
+	if v < 0 {
+		return -v
+	}
+	return v
+}

@@ -1,0 +1,225 @@
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"pilfill/internal/ilp"
+	"pilfill/internal/lp"
+)
+
+// normalize rescales a coefficient vector (and optional RHS) so its largest
+// magnitude is 1. Delay coefficients are ~1e-16 seconds — far below the
+// simplex pivot tolerance — so without this the solver would see an all-zero
+// objective. Scaling the objective or an inequality by a positive constant
+// changes neither the argmin nor the feasible set.
+func normalize(v []float64, rhs *float64) {
+	worst := 0.0
+	for _, x := range v {
+		if a := math.Abs(x); a > worst {
+			worst = a
+		}
+	}
+	if worst == 0 {
+		return
+	}
+	inv := 1 / worst
+	for i := range v {
+		v[i] *= inv
+	}
+	if rhs != nil {
+		*rhs *= inv
+	}
+}
+
+// SolveILPI is the paper's ILP-I (Eqs 10–14): one bounded integer variable
+// m_k per slack column, the Eq 6 *linearized* capacitance folded into a
+// per-feature cost, and the fill total as an equality. The linearization is
+// exactly the method's weakness the paper demonstrates: the solver optimizes
+// the linear surrogate, and the resulting placement is then measured with
+// the exact model (sometimes losing even to Normal fill).
+func SolveILPI(in *Instance, opts *ilp.Options) (Assignment, *ilp.Solution, error) {
+	k := len(in.Columns)
+	if k == 0 || in.F == 0 {
+		return make(Assignment, k), &ilp.Solution{Status: ilp.Optimal}, nil
+	}
+	p := &ilp.Problem{
+		NumVars:   k,
+		Objective: make([]float64, k),
+		VarTypes:  make([]ilp.VarType, k),
+		Upper:     make([]float64, k),
+	}
+	sum := make([]float64, k)
+	for i := range in.Columns {
+		p.Objective[i] = in.Columns[i].LinearSlope
+		p.VarTypes[i] = ilp.Integer
+		p.Upper[i] = float64(in.Columns[i].MaxM)
+		sum[i] = 1
+	}
+	normalize(p.Objective, nil)
+	p.Constraints = []lp.Constraint{{Coeffs: sum, Op: lp.EQ, RHS: float64(in.F)}}
+	sol, err := ilp.Solve(p, opts)
+	if err != nil {
+		return nil, nil, fmt.Errorf("core: ILP-I: %w", err)
+	}
+	if sol.Status != ilp.Optimal && sol.Status != ilp.Feasible {
+		return nil, sol, fmt.Errorf("core: ILP-I: solver returned %v", sol.Status)
+	}
+	a := make(Assignment, k)
+	for i := range a {
+		a[i] = int(sol.X[i] + 0.5)
+	}
+	return a, sol, nil
+}
+
+// NetCap is the optional per-net bound on added (unweighted) delay within a
+// tile — the paper's "budgeted capacitance" future-work extension and the
+// safeguard suggested for Greedy's pathological cases.
+type NetCap struct {
+	// MaxAddedDelay is the uniform per-net limit in seconds; <= 0 disables
+	// it (unless PerNet is set).
+	MaxAddedDelay float64
+	// PerNet, when non-nil, supplies an individual budget per net index and
+	// takes precedence over MaxAddedDelay.
+	PerNet []float64
+}
+
+// budgetFor returns the applicable bound for a net, or 0 when unbounded.
+func (nc *NetCap) budgetFor(net int) float64 {
+	if nc.PerNet != nil {
+		if net < len(nc.PerNet) {
+			return nc.PerNet[net]
+		}
+		return 0
+	}
+	return nc.MaxAddedDelay
+}
+
+// SolveILPII is the paper's ILP-II (Eqs 16–23): the fill count of each
+// attributed column is expanded into binary indicator variables m_{k,n}
+// (exactly one n per column, Eq 18–19), so the exact lookup-table cost
+// f(n, d_k) enters the objective as constants (Eq 20). Unattributed (free)
+// columns keep a single zero-cost bounded integer — an exact and much
+// smaller reformulation, since their cost curve is identically zero.
+//
+// One deviation from the printed formulation, noted in DESIGN.md: Eq 19 as
+// published sums n = 1..C_k, which would force every column to hold fill;
+// we include the n = 0 indicator so columns may stay empty.
+//
+// If netCap is non-nil with a positive bound, extra rows limit each net's
+// total added unweighted delay inside the tile.
+func SolveILPII(in *Instance, opts *ilp.Options, netCap *NetCap) (Assignment, *ilp.Solution, error) {
+	k := len(in.Columns)
+	if k == 0 || in.F == 0 {
+		return make(Assignment, k), &ilp.Solution{Status: ilp.Optimal}, nil
+	}
+	// Variable layout: first the binary expansions of costed columns, then
+	// one integer per free column.
+	type colVars struct {
+		base  int // first variable index
+		count int // number of binaries (MaxM+1), or 1 for a free integer
+		free  bool
+	}
+	vars := make([]colVars, k)
+	nv := 0
+	for i := range in.Columns {
+		cv := &in.Columns[i]
+		if cv.CostExact == nil {
+			vars[i] = colVars{base: nv, count: 1, free: true}
+			nv++
+		} else {
+			vars[i] = colVars{base: nv, count: cv.MaxM + 1}
+			nv += cv.MaxM + 1
+		}
+	}
+	p := &ilp.Problem{
+		NumVars:   nv,
+		Objective: make([]float64, nv),
+		VarTypes:  make([]ilp.VarType, nv),
+		Upper:     make([]float64, nv),
+	}
+	fillRow := make([]float64, nv)
+	for i := range in.Columns {
+		cv := &in.Columns[i]
+		v := vars[i]
+		if v.free {
+			p.VarTypes[v.base] = ilp.Integer
+			p.Upper[v.base] = float64(cv.MaxM)
+			fillRow[v.base] = 1
+			continue
+		}
+		oneRow := make([]float64, v.base+v.count)
+		for n := 0; n <= cv.MaxM; n++ {
+			j := v.base + n
+			// Declared Integer, not Binary: the Σ_n m_{k,n} = 1 row already
+			// bounds each indicator to [0,1], so the explicit <= 1 rows a
+			// Binary declaration would add are redundant and would double
+			// the tableau size.
+			p.VarTypes[j] = ilp.Integer
+			p.Objective[j] = cv.costAt(n)
+			fillRow[j] = float64(n)
+			oneRow[j] = 1
+		}
+		p.Constraints = append(p.Constraints, lp.Constraint{Coeffs: oneRow, Op: lp.EQ, RHS: 1})
+	}
+	normalize(p.Objective, nil)
+	p.Constraints = append(p.Constraints, lp.Constraint{Coeffs: fillRow, Op: lp.EQ, RHS: float64(in.F)})
+
+	if netCap != nil && (netCap.MaxAddedDelay > 0 || netCap.PerNet != nil) {
+		// Per-net rows: Σ_k Σ_n ΔC_k(n)·R_l(x_k)·m_{k,n} <= cap.
+		rows := map[int][]float64{}
+		for i := range in.Columns {
+			cv := &in.Columns[i]
+			v := vars[i]
+			if v.free || cv.DeltaC == nil {
+				continue
+			}
+			addSide := func(net int, r float64) {
+				if net < 0 {
+					return
+				}
+				row := rows[net]
+				if row == nil {
+					row = make([]float64, nv)
+					rows[net] = row
+				}
+				for n := 1; n <= cv.MaxM; n++ {
+					row[v.base+n] += cv.DeltaC[n] * r
+				}
+			}
+			addSide(cv.NetLow, cv.RLow)
+			addSide(cv.NetHigh, cv.RHigh)
+		}
+		for net, row := range rows {
+			rhs := netCap.budgetFor(net)
+			if rhs <= 0 {
+				continue
+			}
+			normalize(row, &rhs)
+			p.Constraints = append(p.Constraints, lp.Constraint{Coeffs: row, Op: lp.LE, RHS: rhs})
+		}
+	}
+
+	sol, err := ilp.Solve(p, opts)
+	if err != nil {
+		return nil, nil, fmt.Errorf("core: ILP-II: %w", err)
+	}
+	if sol.Status != ilp.Optimal && sol.Status != ilp.Feasible {
+		return nil, sol, fmt.Errorf("core: ILP-II: solver returned %v", sol.Status)
+	}
+	a := make(Assignment, k)
+	for i := range in.Columns {
+		v := vars[i]
+		if v.free {
+			a[i] = int(sol.X[v.base] + 0.5)
+			continue
+		}
+		for n := 0; n < v.count; n++ {
+			if sol.X[v.base+n] > 0.5 {
+				a[i] = n
+				break
+			}
+		}
+	}
+	return a, sol, nil
+}

@@ -1,0 +1,180 @@
+package core
+
+import (
+	"container/heap"
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+)
+
+// SolveNormal emulates the performance-oblivious baseline: the prescribed
+// number of features is spread uniformly at random over the tile's free
+// sites (each site equally likely), exactly as a density-only fill tool
+// would. The rng seed makes runs reproducible.
+func SolveNormal(in *Instance, rng *rand.Rand) Assignment {
+	a := make(Assignment, len(in.Columns))
+	total := in.TotalCapacity()
+	if in.F <= 0 || total == 0 {
+		return a
+	}
+	// Sample F distinct sites out of `total` with a partial Fisher-Yates
+	// over the implicit site array, then count per column.
+	slots := make([]int, total)
+	idx := 0
+	for k := range in.Columns {
+		for m := 0; m < in.Columns[k].MaxM; m++ {
+			slots[idx] = k
+			idx++
+		}
+	}
+	for i := 0; i < in.F; i++ {
+		j := i + rng.Intn(total-i)
+		slots[i], slots[j] = slots[j], slots[i]
+		a[slots[i]]++
+	}
+	return a
+}
+
+// SolveGreedy is Fig 8's method: columns are sorted by the delay cost of
+// filling them completely (r̂_k · ΔC(C_k)), and fill is poured into whole
+// columns in ascending cost order until the budget is exhausted.
+func SolveGreedy(in *Instance) Assignment {
+	type keyed struct {
+		k   int
+		key float64
+	}
+	keys := make([]keyed, len(in.Columns))
+	for k := range in.Columns {
+		cv := &in.Columns[k]
+		keys[k] = keyed{k: k, key: cv.costAt(cv.MaxM)}
+	}
+	sort.Slice(keys, func(a, b int) bool {
+		if keys[a].key != keys[b].key {
+			return keys[a].key < keys[b].key
+		}
+		return keys[a].k < keys[b].k // deterministic tie-break
+	})
+	a := make(Assignment, len(in.Columns))
+	remaining := in.F
+	for _, kd := range keys {
+		if remaining == 0 {
+			break
+		}
+		take := in.Columns[kd.k].MaxM
+		if take > remaining {
+			take = remaining
+		}
+		a[kd.k] = take
+		remaining -= take
+	}
+	return a
+}
+
+// marginalItem is a heap entry: the cost of the next feature in a column.
+type marginalItem struct {
+	k     int
+	next  int // the feature index this entry would place (1-based)
+	delta float64
+}
+
+type marginalHeap []marginalItem
+
+func (h marginalHeap) Len() int { return len(h) }
+func (h marginalHeap) Less(a, b int) bool {
+	if h[a].delta != h[b].delta {
+		return h[a].delta < h[b].delta
+	}
+	return h[a].k < h[b].k
+}
+func (h marginalHeap) Swap(a, b int)       { h[a], h[b] = h[b], h[a] }
+func (h *marginalHeap) Push(x any)         { *h = append(*h, x.(marginalItem)) }
+func (h *marginalHeap) Pop() any           { old := *h; n := len(old); it := old[n-1]; *h = old[:n-1]; return it }
+func (h marginalHeap) Peek() *marginalItem { return &h[0] }
+
+// SolveMarginalGreedy places one feature at a time, always into the column
+// with the cheapest marginal cost. Because every exact cost curve is convex
+// in m (ΔC(m) = ε·a/(d−m·w) − C_B has increasing differences), this greedy
+// is provably optimal for the MDFC objective — it serves as the ablation
+// reference showing the paper's whole-column Greedy loses only through its
+// coarser granularity.
+func SolveMarginalGreedy(in *Instance) Assignment {
+	a := make(Assignment, len(in.Columns))
+	h := make(marginalHeap, 0, len(in.Columns))
+	for k := range in.Columns {
+		if in.Columns[k].MaxM > 0 {
+			h = append(h, marginalItem{k: k, next: 1, delta: in.Columns[k].costAt(1)})
+		}
+	}
+	heap.Init(&h)
+	for placed := 0; placed < in.F && h.Len() > 0; placed++ {
+		it := heap.Pop(&h).(marginalItem)
+		a[it.k] = it.next
+		cv := &in.Columns[it.k]
+		if it.next < cv.MaxM {
+			heap.Push(&h, marginalItem{
+				k:     it.k,
+				next:  it.next + 1,
+				delta: cv.costAt(it.next+1) - cv.costAt(it.next),
+			})
+		}
+	}
+	return a
+}
+
+// DPMaxStates bounds the dynamic program's table size (columns × budget).
+const DPMaxStates = 50_000_000
+
+// SolveDP computes the exact optimum by dynamic programming over columns:
+// dp[f] = min cost to place f features in the columns seen so far. It is
+// pseudo-polynomial — O(K·F·maxM) time, O(F) space — and is used as the
+// optimality reference in tests and ablations.
+func SolveDP(in *Instance) (Assignment, error) {
+	kn := len(in.Columns)
+	if int64(kn)*int64(in.F+1) > DPMaxStates {
+		return nil, fmt.Errorf("core: DP instance too large (%d columns × %d budget)", kn, in.F)
+	}
+	const inf = math.MaxFloat64
+	dp := make([]float64, in.F+1)
+	choice := make([][]int32, kn) // choice[k][f] = m chosen for column k at budget f
+	for f := 1; f <= in.F; f++ {
+		dp[f] = inf
+	}
+	for k := 0; k < kn; k++ {
+		cv := &in.Columns[k]
+		choice[k] = make([]int32, in.F+1)
+		next := make([]float64, in.F+1)
+		for f := 0; f <= in.F; f++ {
+			best := inf
+			var bestM int32
+			maxM := cv.MaxM
+			if maxM > f {
+				maxM = f
+			}
+			for m := 0; m <= maxM; m++ {
+				if dp[f-m] == inf {
+					continue
+				}
+				c := dp[f-m] + cv.costAt(m)
+				if c < best {
+					best = c
+					bestM = int32(m)
+				}
+			}
+			next[f] = best
+			choice[k][f] = bestM
+		}
+		dp = next
+	}
+	if dp[in.F] == inf {
+		return nil, fmt.Errorf("core: DP found no feasible assignment for F=%d", in.F)
+	}
+	a := make(Assignment, kn)
+	f := in.F
+	for k := kn - 1; k >= 0; k-- {
+		m := int(choice[k][f])
+		a[k] = m
+		f -= m
+	}
+	return a, nil
+}

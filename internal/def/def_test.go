@@ -1,0 +1,308 @@
+package def
+
+import (
+	"bytes"
+	"reflect"
+	"strings"
+	"testing"
+
+	"pilfill/internal/geom"
+	"pilfill/internal/layout"
+)
+
+func sampleLayout() *layout.Layout {
+	return &layout.Layout{
+		Name: "sample",
+		Die:  geom.Rect{X1: 0, Y1: 0, X2: 100000, Y2: 100000},
+		Layers: []layout.Layer{
+			{Name: "m3", Dir: layout.Horizontal, Width: 200},
+			{Name: "m4", Dir: layout.Vertical, Width: 220},
+		},
+		Nets: []*layout.Net{
+			{
+				Name:   "clk",
+				Source: layout.Pin{P: geom.Point{X: 1000, Y: 5000}, Layer: 0},
+				Sinks: []layout.Pin{
+					{P: geom.Point{X: 90000, Y: 5000}, Layer: 0},
+					{P: geom.Point{X: 40000, Y: 20000}, Layer: 1},
+				},
+				Segments: []layout.Segment{
+					{Layer: 0, A: geom.Point{X: 1000, Y: 5000}, B: geom.Point{X: 90000, Y: 5000}, Width: 200},
+					{Layer: 1, A: geom.Point{X: 40000, Y: 5000}, B: geom.Point{X: 40000, Y: 20000}, Width: 220},
+				},
+			},
+			{
+				Name:   "d0",
+				Source: layout.Pin{P: geom.Point{X: 2000, Y: 70000}, Layer: 0},
+				Sinks:  []layout.Pin{{P: geom.Point{X: 60000, Y: 70000}, Layer: 0}},
+				Segments: []layout.Segment{
+					{Layer: 0, A: geom.Point{X: 2000, Y: 70000}, B: geom.Point{X: 60000, Y: 70000}, Width: 200},
+				},
+			},
+		},
+	}
+}
+
+func TestRoundTrip(t *testing.T) {
+	l := sampleLayout()
+	var buf bytes.Buffer
+	if err := Write(&buf, l); err != nil {
+		t.Fatal(err)
+	}
+	got, fills, err := Parse(&buf)
+	if err != nil {
+		t.Fatalf("Parse: %v\n%s", err, buf.String())
+	}
+	if len(fills) != 0 {
+		t.Errorf("unexpected fills: %v", fills)
+	}
+	if got.Name != l.Name || got.Die != l.Die {
+		t.Errorf("header mismatch: %q %v", got.Name, got.Die)
+	}
+	if !reflect.DeepEqual(got.Layers, l.Layers) {
+		t.Errorf("layers = %+v, want %+v", got.Layers, l.Layers)
+	}
+	if len(got.Nets) != len(l.Nets) {
+		t.Fatalf("net count %d, want %d", len(got.Nets), len(l.Nets))
+	}
+	for i := range l.Nets {
+		if !reflect.DeepEqual(got.Nets[i], l.Nets[i]) {
+			t.Errorf("net %d:\n got %+v\nwant %+v", i, got.Nets[i], l.Nets[i])
+		}
+	}
+}
+
+func TestRoundTripWithFills(t *testing.T) {
+	l := sampleLayout()
+	grid, err := layout.NewSiteGrid(l.Die, layout.FillRule{Feature: 300, Gap: 100, Buffer: 150})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fs := &layout.FillSet{Grid: grid, Layer: 0, Fills: []layout.Fill{{Col: 3, Row: 4}, {Col: 10, Row: 20}}}
+	var buf bytes.Buffer
+	if err := WriteWithFill(&buf, l, FillRects(fs)); err != nil {
+		t.Fatal(err)
+	}
+	_, fills, err := Parse(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fills) != 2 {
+		t.Fatalf("fills = %d, want 2", len(fills))
+	}
+	if fills[0].Rect != grid.SiteRect(3, 4) {
+		t.Errorf("fill 0 rect = %v, want %v", fills[0].Rect, grid.SiteRect(3, 4))
+	}
+	if fills[0].Layer != 0 {
+		t.Errorf("fill layer = %d", fills[0].Layer)
+	}
+}
+
+func TestParseTolerant(t *testing.T) {
+	// Unspaced parens/semicolons and comments must parse.
+	src := `
+# a comment
+VERSION 5.6;
+DESIGN tiny;
+UNITS DISTANCE MICRONS 1000;
+DIEAREA (0 0) (10000 10000);
+LAYERS 1;
+- m1 HORIZONTAL 100;
+END LAYERS
+NETS 1;
+- n  # trailing comment
+  + SOURCE (100 500) LAYER m1
+  + SINK (9000 500) LAYER m1
+  + ROUTED m1 100 (100 500) (9000 500)
+;
+END NETS
+END DESIGN
+`
+	l, _, err := Parse(strings.NewReader(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if l.Name != "tiny" || len(l.Nets) != 1 || len(l.Nets[0].Segments) != 1 {
+		t.Errorf("parsed %+v", l)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	base := func(mutate func(string) string) string {
+		var buf bytes.Buffer
+		if err := Write(&buf, sampleLayout()); err != nil {
+			t.Fatal(err)
+		}
+		return mutate(buf.String())
+	}
+	cases := map[string]string{
+		"truncated":     base(func(s string) string { return s[:len(s)/2] }),
+		"bad units":     base(func(s string) string { return strings.Replace(s, "MICRONS 1000", "MICRONS 2000", 1) }),
+		"unknown layer": base(func(s string) string { return strings.Replace(s, "ROUTED m3", "ROUTED m9", 1) }),
+		"bad direction": base(func(s string) string { return strings.Replace(s, "HORIZONTAL", "DIAGONAL", 1) }),
+		"no version":    base(func(s string) string { return strings.Replace(s, "VERSION", "VERSON", 1) }),
+		"dup layer":     base(func(s string) string { return strings.Replace(s, "m4 VERTICAL", "m3 VERTICAL", 1) }),
+		"double source": base(func(s string) string {
+			return strings.Replace(s, "+ SINK ( 90000 5000 )", "+ SOURCE ( 90000 5000 )", 1)
+		}),
+	}
+	for name, src := range cases {
+		if _, _, err := Parse(strings.NewReader(src)); err == nil {
+			t.Errorf("%s: expected parse error", name)
+		}
+	}
+}
+
+func TestParseRejectsInvalidLayout(t *testing.T) {
+	// Structurally parseable but semantically invalid: segment out of die.
+	src := `
+VERSION 5.6 ;
+DESIGN bad ;
+UNITS DISTANCE MICRONS 1000 ;
+DIEAREA ( 0 0 ) ( 1000 1000 ) ;
+LAYERS 1 ;
+- m1 HORIZONTAL 100 ;
+END LAYERS
+NETS 1 ;
+- n
+  + SOURCE ( 0 500 ) LAYER m1
+  + SINK ( 5000 500 ) LAYER m1
+  + ROUTED m1 100 ( 0 500 ) ( 5000 500 )
+;
+END NETS
+END DESIGN
+`
+	if _, _, err := Parse(strings.NewReader(src)); err == nil {
+		t.Fatal("expected validation error for out-of-die route")
+	}
+}
+
+func TestWriteIsDeterministic(t *testing.T) {
+	l := sampleLayout()
+	var a, b bytes.Buffer
+	if err := Write(&a, l); err != nil {
+		t.Fatal(err)
+	}
+	if err := Write(&b, l); err != nil {
+		t.Fatal(err)
+	}
+	if a.String() != b.String() {
+		t.Error("non-deterministic output")
+	}
+}
+
+func TestParseWithPredefinedLayers(t *testing.T) {
+	// Standard split: DEF without inline LAYERS, layers supplied externally.
+	src := `
+VERSION 5.6 ;
+DESIGN split ;
+UNITS DISTANCE MICRONS 1000 ;
+DIEAREA ( 0 0 ) ( 10000 10000 ) ;
+NETS 1 ;
+- n
+  + SOURCE ( 500 500 ) LAYER m3
+  + SINK ( 9000 500 ) LAYER m3
+  + ROUTED m3 100 ( 500 500 ) ( 9000 500 )
+;
+END NETS
+END DESIGN
+`
+	layers := []layout.Layer{
+		{Name: "m3", Dir: layout.Horizontal, Width: 100},
+		{Name: "m4", Dir: layout.Vertical, Width: 120},
+	}
+	l, _, err := ParseWith(strings.NewReader(src), layers)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(l.Layers) != 2 || l.Layers[0].Name != "m3" {
+		t.Errorf("layers = %+v", l.Layers)
+	}
+	if len(l.Nets) != 1 {
+		t.Errorf("nets = %d", len(l.Nets))
+	}
+	// Without predefined layers the same DEF must fail.
+	if _, _, err := Parse(strings.NewReader(src)); err == nil {
+		t.Error("layer-less DEF accepted without predefined layers")
+	}
+}
+
+func TestParseWithConflictingInline(t *testing.T) {
+	var buf bytes.Buffer
+	if err := Write(&buf, sampleLayout()); err != nil {
+		t.Fatal(err)
+	}
+	// The inline section redefines m3, which is already predefined.
+	layers := []layout.Layer{{Name: "m3", Dir: layout.Horizontal, Width: 100}}
+	if _, _, err := ParseWith(&buf, layers); err == nil {
+		t.Error("conflicting inline layer accepted")
+	}
+}
+
+func TestParseWithExtraPredefinedOK(t *testing.T) {
+	// Inline section present with additional predefined layers that do not
+	// conflict: both are available.
+	var buf bytes.Buffer
+	if err := Write(&buf, sampleLayout()); err != nil {
+		t.Fatal(err)
+	}
+	layers := []layout.Layer{{Name: "m9", Dir: layout.Horizontal, Width: 500}}
+	l, _, err := ParseWith(&buf, layers)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(l.Layers) != 3 {
+		t.Errorf("layers = %d, want 3", len(l.Layers))
+	}
+}
+
+func TestFillSectionErrors(t *testing.T) {
+	base := `
+VERSION 5.6 ;
+DESIGN f ;
+UNITS DISTANCE MICRONS 1000 ;
+DIEAREA ( 0 0 ) ( 10000 10000 ) ;
+LAYERS 1 ;
+- m1 HORIZONTAL 100 ;
+END LAYERS
+NETS 1 ;
+- n
+  + SOURCE ( 100 500 ) LAYER m1
+  + SINK ( 9000 500 ) LAYER m1
+  + ROUTED m1 100 ( 100 500 ) ( 9000 500 )
+;
+END NETS
+`
+	cases := map[string]string{
+		"bad fill layer": base + "FILLS 1 ;\n- LAYER m9 RECT ( 0 0 ) ( 10 10 ) ;\nEND FILLS\nEND DESIGN\n",
+		"fill no rect":   base + "FILLS 1 ;\n- LAYER m1 BLOB ( 0 0 ) ( 10 10 ) ;\nEND FILLS\nEND DESIGN\n",
+		"fill truncated": base + "FILLS 2 ;\n- LAYER m1 RECT ( 0 0 ) ( 10 10 ) ;\n",
+		"no end design":  base,
+	}
+	for name, src := range cases {
+		if _, _, err := Parse(strings.NewReader(src)); err == nil {
+			t.Errorf("%s: expected error", name)
+		}
+	}
+}
+
+func TestUnknownNetClause(t *testing.T) {
+	src := `
+VERSION 5.6 ;
+DESIGN f ;
+UNITS DISTANCE MICRONS 1000 ;
+DIEAREA ( 0 0 ) ( 10000 10000 ) ;
+LAYERS 1 ;
+- m1 HORIZONTAL 100 ;
+END LAYERS
+NETS 1 ;
+- n
+  + FROBNICATE ( 1 2 )
+;
+END NETS
+END DESIGN
+`
+	if _, _, err := Parse(strings.NewReader(src)); err == nil {
+		t.Error("unknown clause accepted")
+	}
+}

@@ -1,0 +1,39 @@
+package def
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// FuzzParse feeds arbitrary text to the DEF parser; it must never panic, and
+// anything it accepts must survive a write/parse round trip.
+func FuzzParse(f *testing.F) {
+	var seed bytes.Buffer
+	if err := Write(&seed, sampleLayout()); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(seed.String())
+	f.Add("")
+	f.Add("VERSION 5.6 ;")
+	f.Add(strings.Replace(seed.String(), "NETS 2", "NETS 99", 1))
+	f.Add(strings.Replace(seed.String(), "( 1000", "( -1000", 1))
+	f.Fuzz(func(t *testing.T, src string) {
+		l, fills, err := Parse(strings.NewReader(src))
+		if err != nil {
+			return
+		}
+		var buf bytes.Buffer
+		if err := WriteWithFill(&buf, l, fills); err != nil {
+			t.Fatalf("accepted layout failed to write: %v", err)
+		}
+		l2, fills2, err := Parse(&buf)
+		if err != nil {
+			t.Fatalf("own output failed to parse: %v\n%s", err, buf.String())
+		}
+		if l2.Name != l.Name || len(l2.Nets) != len(l.Nets) || len(fills2) != len(fills) {
+			t.Fatalf("round trip changed the design: %q/%d/%d vs %q/%d/%d",
+				l.Name, len(l.Nets), len(fills), l2.Name, len(l2.Nets), len(fills2))
+		}
+	})
+}

@@ -1,0 +1,418 @@
+// Package density implements fixed-dissection layout density analysis and
+// the density-driven per-tile fill budgeting of Chen, Kahng, Robins and
+// Zelikovsky ("Dummy Fill Synthesis for Uniform Layout Density", TCAD 2002)
+// — the "normal fill" baseline of the PIL-Fill paper. Two budgeting engines
+// are provided:
+//
+//   - LPBudget: the min-variation linear program (maximize the minimum
+//     window density subject to an upper bound and per-tile slack), solved
+//     with the simplex solver in internal/lp. Exact but only practical for
+//     coarse dissections.
+//   - MonteCarlo: the randomized greedy budgeter that repeatedly adds one
+//     fill feature to a slack tile of the currently emptiest window.
+//     Scales to fine dissections; this is what the experiment harness uses.
+//
+// Both return the same artifact — the number of fill features each tile must
+// receive — which the PIL-Fill methods then place. Density quality depends
+// only on the budget, so every placement method in internal/core achieves
+// identical density control by construction.
+package density
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"pilfill/internal/layout"
+	"pilfill/internal/lp"
+)
+
+// Grid aggregates per-tile feature area and fill slack for one layer.
+type Grid struct {
+	D           *layout.Dissection
+	TileArea    [][]int64 // drawn feature area per tile [i][j]
+	TileSlack   [][]int   // free fill sites per tile [i][j]
+	FeatureArea int64     // drawn area of one fill feature
+}
+
+// NewGrid computes the density grid for a layer: tile feature areas from the
+// layout and per-tile slack from the occupancy map (a site belongs to the
+// tile containing its center).
+func NewGrid(l *layout.Layout, d *layout.Dissection, occ *layout.Occupancy, layer int) *Grid {
+	g := &Grid{
+		D:           d,
+		TileArea:    l.TileFeatureAreas(layer, d),
+		FeatureArea: occ.Grid.Rule.Feature * occ.Grid.Rule.Feature,
+	}
+	g.TileSlack = make([][]int, d.NX)
+	for i := range g.TileSlack {
+		g.TileSlack[i] = make([]int, d.NY)
+	}
+	sg := occ.Grid
+	f := sg.Rule.Feature
+	for c := 0; c < sg.Cols; c++ {
+		for r := 0; r < sg.Rows; r++ {
+			if occ.Blocked(c, r) {
+				continue
+			}
+			cx := sg.SiteX(c) + f/2
+			cy := sg.SiteY(r) + f/2
+			if !d.Die.Contains(cx, cy) {
+				continue
+			}
+			i, j := d.TileIndex(cx, cy)
+			g.TileSlack[i][j]++
+		}
+	}
+	return g
+}
+
+// Budget is the number of fill features required in each tile [i][j].
+type Budget [][]int
+
+// NewBudget allocates a zero budget for the grid.
+func (g *Grid) NewBudget() Budget {
+	b := make(Budget, g.D.NX)
+	for i := range b {
+		b[i] = make([]int, g.D.NY)
+	}
+	return b
+}
+
+// Total returns the total number of features in the budget.
+func (b Budget) Total() int {
+	n := 0
+	for i := range b {
+		for j := range b[i] {
+			n += b[i][j]
+		}
+	}
+	return n
+}
+
+// Clone deep-copies the budget.
+func (b Budget) Clone() Budget {
+	out := make(Budget, len(b))
+	for i := range b {
+		out[i] = append([]int(nil), b[i]...)
+	}
+	return out
+}
+
+// WindowDensity returns the density of the window with origin tile (i, j)
+// given an optional fill budget (nil means no fill).
+func (g *Grid) WindowDensity(i, j int, fill Budget) float64 {
+	win := g.D.WindowRect(i, j)
+	var area int64
+	for di := 0; di < g.D.R; di++ {
+		for dj := 0; dj < g.D.R; dj++ {
+			ti, tj := i+di, j+dj
+			if ti >= g.D.NX || tj >= g.D.NY {
+				continue
+			}
+			area += g.TileArea[ti][tj]
+			if fill != nil {
+				area += int64(fill[ti][tj]) * g.FeatureArea
+			}
+		}
+	}
+	return float64(area) / float64(win.Area())
+}
+
+// Stats returns the minimum and maximum window density under a fill budget.
+func (g *Grid) Stats(fill Budget) (minD, maxD float64) {
+	wx, wy := g.D.NumWindows()
+	minD, maxD = math.Inf(1), math.Inf(-1)
+	for i := 0; i < wx; i++ {
+		for j := 0; j < wy; j++ {
+			d := g.WindowDensity(i, j, fill)
+			if d < minD {
+				minD = d
+			}
+			if d > maxD {
+				maxD = d
+			}
+		}
+	}
+	return minD, maxD
+}
+
+// Variation returns max - min window density under a fill budget.
+func (g *Grid) Variation(fill Budget) float64 {
+	minD, maxD := g.Stats(fill)
+	return maxD - minD
+}
+
+// StatsWithAreas returns min/max window density when the added fill is given
+// as an exact per-tile area map (e.g. layout.FillSet.TileFillAreas) instead
+// of a feature-count budget.
+func (g *Grid) StatsWithAreas(fillAreas [][]int64) (minD, maxD float64) {
+	wx, wy := g.D.NumWindows()
+	minD, maxD = math.Inf(1), math.Inf(-1)
+	for i := 0; i < wx; i++ {
+		for j := 0; j < wy; j++ {
+			win := g.D.WindowRect(i, j)
+			var area int64
+			for di := 0; di < g.D.R; di++ {
+				for dj := 0; dj < g.D.R; dj++ {
+					ti, tj := i+di, j+dj
+					if ti >= g.D.NX || tj >= g.D.NY {
+						continue
+					}
+					area += g.TileArea[ti][tj]
+					if fillAreas != nil {
+						area += fillAreas[ti][tj]
+					}
+				}
+			}
+			d := float64(area) / float64(win.Area())
+			if d < minD {
+				minD = d
+			}
+			if d > maxD {
+				maxD = d
+			}
+		}
+	}
+	return minD, maxD
+}
+
+// MonteCarloOptions tunes the randomized budgeter.
+type MonteCarloOptions struct {
+	// TargetMin is the window density the budgeter tries to lift every
+	// window to. Use a value <= the achievable maximum; MaxMinDensity
+	// estimates it.
+	TargetMin float64
+	// MaxDensity is the upper window density bound U; adding fill never
+	// pushes any window above it. <= 0 disables the bound.
+	MaxDensity float64
+	// Seed makes runs reproducible.
+	Seed int64
+}
+
+// MonteCarlo computes a per-tile fill budget by repeatedly choosing the
+// lowest-density window and adding one feature to a random slack tile inside
+// it (weighted by remaining slack), subject to the upper density bound.
+// It stops when every window reaches TargetMin or no legal insertion can
+// improve the emptiest window, and returns the budget with the achieved
+// minimum density.
+func MonteCarlo(g *Grid, opts MonteCarloOptions) (Budget, float64, error) {
+	if opts.TargetMin <= 0 {
+		return nil, 0, fmt.Errorf("density: TargetMin = %g", opts.TargetMin)
+	}
+	rng := rand.New(rand.NewSource(opts.Seed))
+	wx, wy := g.D.NumWindows()
+	budget := g.NewBudget()
+	slack := make([][]int, g.D.NX)
+	for i := range slack {
+		slack[i] = append([]int(nil), g.TileSlack[i]...)
+	}
+
+	// Window densities, updated incrementally.
+	dens := make([][]float64, wx)
+	winArea := make([][]float64, wx)
+	for i := 0; i < wx; i++ {
+		dens[i] = make([]float64, wy)
+		winArea[i] = make([]float64, wy)
+		for j := 0; j < wy; j++ {
+			dens[i][j] = g.WindowDensity(i, j, nil)
+			winArea[i][j] = float64(g.D.WindowRect(i, j).Area())
+		}
+	}
+	// windowsOver iterates window origins covering tile (ti, tj).
+	windowsOver := func(ti, tj int, visit func(wi, wj int)) {
+		loI := ti - g.D.R + 1
+		if loI < 0 {
+			loI = 0
+		}
+		loJ := tj - g.D.R + 1
+		if loJ < 0 {
+			loJ = 0
+		}
+		for wi := loI; wi <= ti && wi < wx; wi++ {
+			for wj := loJ; wj <= tj && wj < wy; wj++ {
+				visit(wi, wj)
+			}
+		}
+	}
+
+	dead := make(map[[2]int]bool) // windows that cannot be improved further
+	for {
+		// Find the emptiest improvable window.
+		minI, minJ := -1, -1
+		minD := opts.TargetMin
+		for i := 0; i < wx; i++ {
+			for j := 0; j < wy; j++ {
+				if dead[[2]int{i, j}] {
+					continue
+				}
+				if dens[i][j] < minD {
+					minD = dens[i][j]
+					minI, minJ = i, j
+				}
+			}
+		}
+		if minI < 0 {
+			break // every live window is at or above target
+		}
+		// Candidate tiles: slack tiles in this window whose insertion does
+		// not push any covering window over MaxDensity.
+		type cand struct {
+			ti, tj int
+			w      int
+		}
+		var cands []cand
+		totalW := 0
+		for di := 0; di < g.D.R; di++ {
+			for dj := 0; dj < g.D.R; dj++ {
+				ti, tj := minI+di, minJ+dj
+				if ti >= g.D.NX || tj >= g.D.NY || slack[ti][tj] == 0 {
+					continue
+				}
+				ok := true
+				if opts.MaxDensity > 0 {
+					windowsOver(ti, tj, func(wi, wj int) {
+						if dens[wi][wj]+float64(g.FeatureArea)/winArea[wi][wj] > opts.MaxDensity {
+							ok = false
+						}
+					})
+				}
+				if ok {
+					cands = append(cands, cand{ti, tj, slack[ti][tj]})
+					totalW += slack[ti][tj]
+				}
+			}
+		}
+		if len(cands) == 0 {
+			dead[[2]int{minI, minJ}] = true
+			continue
+		}
+		pick := rng.Intn(totalW)
+		var chosen cand
+		for _, c := range cands {
+			if pick < c.w {
+				chosen = c
+				break
+			}
+			pick -= c.w
+		}
+		budget[chosen.ti][chosen.tj]++
+		slack[chosen.ti][chosen.tj]--
+		windowsOver(chosen.ti, chosen.tj, func(wi, wj int) {
+			dens[wi][wj] += float64(g.FeatureArea) / winArea[wi][wj]
+		})
+	}
+
+	achieved := math.Inf(1)
+	for i := 0; i < wx; i++ {
+		for j := 0; j < wy; j++ {
+			if dens[i][j] < achieved {
+				achieved = dens[i][j]
+			}
+		}
+	}
+	return budget, achieved, nil
+}
+
+// MaxMinDensity estimates the best achievable minimum window density by
+// running the budgeter with an unreachable target and reporting what it
+// attains. Useful for picking a realistic TargetMin.
+func MaxMinDensity(g *Grid, maxDensity float64, seed int64) (float64, error) {
+	_, achieved, err := MonteCarlo(g, MonteCarloOptions{TargetMin: 1.0, MaxDensity: maxDensity, Seed: seed})
+	return achieved, err
+}
+
+// MaxLPVars bounds the LP budgeter's problem size (variables = tiles + 1).
+const MaxLPVars = 1200
+
+// LPBudget computes a fill budget by solving the min-variation LP: maximize
+// the minimum window density M subject to every window staying at or below
+// maxDensity and every tile receiving at most its slack. The fractional
+// areas are rounded down to whole features (rounding keeps all upper bounds
+// satisfied). Only practical for coarse dissections; returns an error when
+// the problem exceeds MaxLPVars variables.
+func LPBudget(g *Grid, maxDensity float64) (Budget, error) {
+	nx, ny := g.D.NX, g.D.NY
+	nTiles := nx * ny
+	if nTiles+1 > MaxLPVars {
+		return nil, fmt.Errorf("density: LP budget with %d tiles exceeds %d variables; use MonteCarlo", nTiles, MaxLPVars-1)
+	}
+	wx, wy := g.D.NumWindows()
+	// Variables: x[0..nTiles-1] = fill area per tile (in feature units),
+	// x[nTiles] = M (minimum window density, scaled to [0,1]).
+	nv := nTiles + 1
+	tileVar := func(i, j int) int { return i*ny + j }
+
+	obj := make([]float64, nv)
+	obj[nTiles] = -1 // maximize M
+
+	var cons []lp.Constraint
+	fa := float64(g.FeatureArea)
+	for wi := 0; wi < wx; wi++ {
+		for wj := 0; wj < wy; wj++ {
+			wa := float64(g.D.WindowRect(wi, wj).Area())
+			base := 0.0
+			coeffLo := make([]float64, nv)
+			coeffHi := make([]float64, nTiles)
+			for di := 0; di < g.D.R; di++ {
+				for dj := 0; dj < g.D.R; dj++ {
+					ti, tj := wi+di, wj+dj
+					if ti >= nx || tj >= ny {
+						continue
+					}
+					base += float64(g.TileArea[ti][tj])
+					coeffLo[tileVar(ti, tj)] = fa / wa
+					coeffHi[tileVar(ti, tj)] = fa / wa
+				}
+			}
+			// (base + fa·Σx)/wa >= M  ->  Σ (fa/wa) x - M >= -base/wa
+			coeffLo[nTiles] = -1
+			cons = append(cons, lp.Constraint{Coeffs: coeffLo, Op: lp.GE, RHS: -base / wa})
+			if maxDensity > 0 {
+				cons = append(cons, lp.Constraint{Coeffs: coeffHi, Op: lp.LE, RHS: maxDensity - base/wa})
+			}
+		}
+	}
+	for i := 0; i < nx; i++ {
+		for j := 0; j < ny; j++ {
+			co := make([]float64, tileVar(i, j)+1)
+			co[tileVar(i, j)] = 1
+			cons = append(cons, lp.Constraint{Coeffs: co, Op: lp.LE, RHS: float64(g.TileSlack[i][j])})
+		}
+	}
+	sol, err := lp.Solve(&lp.Problem{NumVars: nv, Objective: obj, Constraints: cons})
+	if err != nil {
+		return nil, fmt.Errorf("density: LP budget: %w", err)
+	}
+	if sol.Status != lp.Optimal {
+		return nil, fmt.Errorf("density: LP budget: %v", sol.Status)
+	}
+	budget := g.NewBudget()
+	for i := 0; i < nx; i++ {
+		for j := 0; j < ny; j++ {
+			budget[i][j] = int(math.Floor(sol.X[tileVar(i, j)] + 1e-7))
+			if budget[i][j] > g.TileSlack[i][j] {
+				budget[i][j] = g.TileSlack[i][j]
+			}
+			if budget[i][j] < 0 {
+				budget[i][j] = 0
+			}
+		}
+	}
+	return budget, nil
+}
+
+// CheckBudget verifies a budget respects per-tile slack.
+func (g *Grid) CheckBudget(b Budget) error {
+	for i := range b {
+		for j := range b[i] {
+			if b[i][j] < 0 {
+				return fmt.Errorf("density: tile (%d,%d) negative budget %d", i, j, b[i][j])
+			}
+			if b[i][j] > g.TileSlack[i][j] {
+				return fmt.Errorf("density: tile (%d,%d) budget %d exceeds slack %d", i, j, b[i][j], g.TileSlack[i][j])
+			}
+		}
+	}
+	return nil
+}

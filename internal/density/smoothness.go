@@ -1,0 +1,45 @@
+package density
+
+// Smoothness metrics after Chen, Kahng, Robins, Zelikovsky, "Smoothness and
+// Uniformity of Filled Layout for VDSM Manufacturability" (ISPD 2002) — the
+// paper's reference [4]. CMP dishing responds to density *gradients* between
+// nearby windows, not only to the global min/max, so a filled layout should
+// also be smooth: adjacent (one-tile-shifted) windows should have similar
+// densities.
+
+// Smoothness returns the maximum absolute density difference between
+// overlapping windows whose origins are one tile apart (horizontally or
+// vertically), under an optional fill budget. Zero means perfectly smooth.
+func (g *Grid) Smoothness(fill Budget) float64 {
+	wx, wy := g.D.NumWindows()
+	dens := make([][]float64, wx)
+	for i := 0; i < wx; i++ {
+		dens[i] = make([]float64, wy)
+		for j := 0; j < wy; j++ {
+			dens[i][j] = g.WindowDensity(i, j, fill)
+		}
+	}
+	worst := 0.0
+	for i := 0; i < wx; i++ {
+		for j := 0; j < wy; j++ {
+			if i+1 < wx {
+				if d := abs(dens[i][j] - dens[i+1][j]); d > worst {
+					worst = d
+				}
+			}
+			if j+1 < wy {
+				if d := abs(dens[i][j] - dens[i][j+1]); d > worst {
+					worst = d
+				}
+			}
+		}
+	}
+	return worst
+}
+
+func abs(v float64) float64 {
+	if v < 0 {
+		return -v
+	}
+	return v
+}

@@ -1,0 +1,106 @@
+package density
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"pilfill/internal/geom"
+	"pilfill/internal/layout"
+)
+
+func TestSmoothnessUniformIsZero(t *testing.T) {
+	tile := int64(2000)
+	g := testGrid(t, 8, 8, 2, tile,
+		func(i, j int) int64 { return tile * tile / 4 },
+		func(i, j int) int { return 0 })
+	if s := g.Smoothness(nil); s != 0 {
+		t.Errorf("uniform smoothness = %g, want 0", s)
+	}
+}
+
+func TestSmoothnessDetectsStep(t *testing.T) {
+	// Left half empty, right half 50% dense: the seam windows see the step.
+	tile := int64(2000)
+	g := testGrid(t, 8, 8, 2, tile,
+		func(i, j int) int64 {
+			if i < 4 {
+				return 0
+			}
+			return tile * tile / 2
+		},
+		func(i, j int) int { return 0 })
+	s := g.Smoothness(nil)
+	// Adjacent windows differ by one column of tiles = 1/2 of the window
+	// area stepping by 0.5 density => 0.25 per shifted column... at least
+	// a clearly nonzero value.
+	if s < 0.2 {
+		t.Errorf("step smoothness = %g, want >= 0.2", s)
+	}
+}
+
+func TestSmoothnessImprovesWithFill(t *testing.T) {
+	tile := int64(2000)
+	g := testGrid(t, 8, 8, 2, tile,
+		func(i, j int) int64 {
+			if i < 4 {
+				return 0
+			}
+			return tile * tile / 3
+		},
+		func(i, j int) int { return 1000 })
+	before := g.Smoothness(nil)
+	budget, _, err := MonteCarlo(g, MonteCarloOptions{TargetMin: 0.3, MaxDensity: 0.4, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	after := g.Smoothness(budget)
+	if after >= before {
+		t.Errorf("smoothness %g -> %g, expected improvement", before, after)
+	}
+}
+
+func TestQuickSmoothnessBoundedByVariation(t *testing.T) {
+	// The max adjacent-window difference can never exceed max - min.
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		tile := int64(2000)
+		nx := 6
+		die := geom.Rect{X1: 0, Y1: 0, X2: int64(nx) * tile, Y2: int64(nx) * tile}
+		d, err := layout.NewDissection(die, tile*2, 2)
+		if err != nil {
+			return false
+		}
+		g := &Grid{D: d, FeatureArea: 300 * 300}
+		g.TileArea = make([][]int64, nx)
+		g.TileSlack = make([][]int, nx)
+		for i := 0; i < nx; i++ {
+			g.TileArea[i] = make([]int64, nx)
+			g.TileSlack[i] = make([]int, nx)
+			for j := 0; j < nx; j++ {
+				g.TileArea[i][j] = rng.Int63n(tile * tile)
+			}
+		}
+		minD, maxD := g.Stats(nil)
+		return g.Smoothness(nil) <= maxD-minD+1e-12
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSmoothnessSingleWindow(t *testing.T) {
+	// One window only: no adjacent pair, smoothness 0.
+	tile := int64(2000)
+	g := testGrid(t, 2, 2, 2, tile,
+		func(i, j int) int64 { return int64(i+j) * 100000 },
+		func(i, j int) int { return 0 })
+	s := g.Smoothness(nil)
+	if s != 0 {
+		t.Errorf("single-window smoothness = %g", s)
+	}
+	if math.IsNaN(s) {
+		t.Error("NaN smoothness")
+	}
+}

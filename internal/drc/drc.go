@@ -1,0 +1,202 @@
+// Package drc verifies filled layouts against the fill design rules and the
+// density constraints — the "physical verification" step the paper situates
+// fill insertion inside. It checks, independently of how the fill was
+// produced:
+//
+//   - geometry: every feature inside the die, grid-aligned, the right size;
+//   - spacing: no feature closer than the buffer distance to drawn wires on
+//     the fill layer, and no feature-to-feature overlap (grid alignment
+//     guarantees the inter-fill gap);
+//   - density: every window within [MinDensity, MaxDensity] if requested.
+//
+// The checker re-derives everything from the layout and the fill rectangles
+// rather than trusting the placer's bookkeeping, so it also guards the
+// library's own engine in tests.
+package drc
+
+import (
+	"fmt"
+
+	"pilfill/internal/density"
+	"pilfill/internal/geom"
+	"pilfill/internal/layout"
+)
+
+// ViolationKind classifies a DRC violation.
+type ViolationKind int
+
+// Violation kinds.
+const (
+	OffGrid ViolationKind = iota
+	WrongSize
+	OutsideDie
+	BufferViolation
+	FillOverlap
+	DensityLow
+	DensityHigh
+)
+
+// String names the kind.
+func (k ViolationKind) String() string {
+	switch k {
+	case OffGrid:
+		return "off-grid"
+	case WrongSize:
+		return "wrong-size"
+	case OutsideDie:
+		return "outside-die"
+	case BufferViolation:
+		return "buffer-violation"
+	case FillOverlap:
+		return "fill-overlap"
+	case DensityLow:
+		return "density-low"
+	case DensityHigh:
+		return "density-high"
+	}
+	return fmt.Sprintf("ViolationKind(%d)", int(k))
+}
+
+// Violation is one DRC finding.
+type Violation struct {
+	Kind ViolationKind
+	Rect geom.Rect // the offending geometry or window
+	Note string
+}
+
+func (v Violation) String() string {
+	return fmt.Sprintf("%s at %v: %s", v.Kind, v.Rect, v.Note)
+}
+
+// Options configures a check run.
+type Options struct {
+	// MinDensity/MaxDensity bound window densities when > 0.
+	MinDensity float64
+	MaxDensity float64
+	// MaxViolations stops the check early once this many findings
+	// accumulate (0 = unlimited).
+	MaxViolations int
+}
+
+// CheckFill verifies the fill set against the layout and rule; dis may be
+// nil to skip the density checks.
+func CheckFill(l *layout.Layout, fs *layout.FillSet, rule layout.FillRule, dis *layout.Dissection, opts Options) []Violation {
+	var out []Violation
+	limitHit := func() bool {
+		return opts.MaxViolations > 0 && len(out) >= opts.MaxViolations
+	}
+	grid := fs.Grid
+
+	// Geometry, grid alignment, duplicates.
+	seen := make(map[layout.Fill]bool, len(fs.Fills))
+	for _, f := range fs.Fills {
+		if limitHit() {
+			return out
+		}
+		r := grid.SiteRect(f.Col, f.Row)
+		if f.Col < 0 || f.Col >= grid.Cols || f.Row < 0 || f.Row >= grid.Rows {
+			out = append(out, Violation{OffGrid, r, fmt.Sprintf("site (%d,%d) outside grid %dx%d", f.Col, f.Row, grid.Cols, grid.Rows)})
+			continue
+		}
+		if r.Width() != rule.Feature || r.Height() != rule.Feature {
+			out = append(out, Violation{WrongSize, r, fmt.Sprintf("feature %dx%d, rule %d", r.Width(), r.Height(), rule.Feature)})
+		}
+		if !l.Die.ContainsRect(r) {
+			out = append(out, Violation{OutsideDie, r, "feature leaves the die"})
+		}
+		if seen[f] {
+			out = append(out, Violation{FillOverlap, r, fmt.Sprintf("duplicate feature at site (%d,%d)", f.Col, f.Row)})
+		}
+		seen[f] = true
+	}
+
+	// Buffer distance to drawn wires on the fill layer. Features and wires
+	// are both rectangles; check keep-out overlap against an interval index
+	// of wires bucketed by site columns for speed.
+	type wireRef struct{ r geom.Rect }
+	wiresByCol := make([][]wireRef, grid.Cols)
+	for _, n := range l.Nets {
+		for _, s := range n.Segments {
+			if s.Layer != fs.Layer {
+				continue
+			}
+			wr := s.Rect()
+			c1, c2 := grid.ColRange(wr.X1-rule.Buffer, wr.X2+rule.Buffer)
+			for c := c1; c < c2; c++ {
+				wiresByCol[c] = append(wiresByCol[c], wireRef{wr})
+			}
+		}
+	}
+	for _, f := range fs.Fills {
+		if limitHit() {
+			return out
+		}
+		if f.Col < 0 || f.Col >= grid.Cols || f.Row < 0 || f.Row >= grid.Rows {
+			continue // already reported
+		}
+		keepout := grid.SiteRect(f.Col, f.Row).Expand(rule.Buffer)
+		for _, w := range wiresByCol[f.Col] {
+			if keepout.Overlaps(w.r) {
+				out = append(out, Violation{BufferViolation, grid.SiteRect(f.Col, f.Row),
+					fmt.Sprintf("within %d nm of wire %v", rule.Buffer, w.r)})
+				break
+			}
+		}
+	}
+
+	// Density windows.
+	if dis != nil && (opts.MinDensity > 0 || opts.MaxDensity > 0) {
+		g := &density.Grid{
+			D:           dis,
+			TileArea:    l.TileFeatureAreas(fs.Layer, dis),
+			FeatureArea: rule.Feature * rule.Feature,
+		}
+		fillAreas := fs.TileFillAreas(dis)
+		wx, wy := dis.NumWindows()
+		for i := 0; i < wx && !limitHit(); i++ {
+			for j := 0; j < wy && !limitHit(); j++ {
+				win := dis.WindowRect(i, j)
+				var area int64
+				for di := 0; di < dis.R; di++ {
+					for dj := 0; dj < dis.R; dj++ {
+						ti, tj := i+di, j+dj
+						if ti >= dis.NX || tj >= dis.NY {
+							continue
+						}
+						area += g.TileArea[ti][tj] + fillAreas[ti][tj]
+					}
+				}
+				d := float64(area) / float64(win.Area())
+				if opts.MinDensity > 0 && d < opts.MinDensity {
+					out = append(out, Violation{DensityLow, win, fmt.Sprintf("density %.4f < %.4f", d, opts.MinDensity)})
+				}
+				if opts.MaxDensity > 0 && d > opts.MaxDensity {
+					out = append(out, Violation{DensityHigh, win, fmt.Sprintf("density %.4f > %.4f", d, opts.MaxDensity)})
+				}
+			}
+		}
+	}
+	return out
+}
+
+// CheckRects verifies externally supplied fill rectangles (e.g. parsed from
+// a DEF FILLS section) by snapping them onto the site grid first; rectangles
+// that do not correspond to a grid site are reported as off-grid.
+func CheckRects(l *layout.Layout, rects []geom.Rect, lyr int, rule layout.FillRule, dis *layout.Dissection, opts Options) ([]Violation, error) {
+	grid, err := layout.NewSiteGrid(l.Die, rule)
+	if err != nil {
+		return nil, err
+	}
+	fs := &layout.FillSet{Grid: grid, Layer: lyr}
+	var pre []Violation
+	for _, r := range rects {
+		c1, c2 := grid.ColRange(r.X1, r.X1+1)
+		r1, r2 := grid.RowRange(r.Y1, r.Y1+1)
+		if c2 <= c1 || r2 <= r1 || grid.SiteRect(c1, r1) != r {
+			pre = append(pre, Violation{OffGrid, r, "rectangle is not a grid site"})
+			continue
+		}
+		fs.Fills = append(fs.Fills, layout.Fill{Col: c1, Row: r1})
+	}
+	return append(pre, CheckFill(l, fs, rule, dis, opts)...), nil
+}

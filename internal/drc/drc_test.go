@@ -1,0 +1,160 @@
+package drc
+
+import (
+	"strings"
+	"testing"
+
+	"pilfill/internal/geom"
+	"pilfill/internal/layout"
+)
+
+var rule = layout.FillRule{Feature: 300, Gap: 100, Buffer: 150}
+
+func testLayout(t *testing.T) (*layout.Layout, *layout.SiteGrid, *layout.Dissection) {
+	t.Helper()
+	die := geom.Rect{X1: 0, Y1: 0, X2: 16000, Y2: 16000}
+	l := &layout.Layout{
+		Name:   "drc",
+		Die:    die,
+		Layers: []layout.Layer{{Name: "m3", Dir: layout.Horizontal, Width: 200}},
+		Nets: []*layout.Net{{
+			Name:   "n",
+			Source: layout.Pin{P: geom.Point{X: 1000, Y: 8000}},
+			Sinks:  []layout.Pin{{P: geom.Point{X: 15000, Y: 8000}}},
+			Segments: []layout.Segment{{
+				Layer: 0,
+				A:     geom.Point{X: 1000, Y: 8000},
+				B:     geom.Point{X: 15000, Y: 8000},
+				Width: 200,
+			}},
+		}},
+	}
+	grid, err := layout.NewSiteGrid(die, rule)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dis, err := layout.NewDissection(die, 8000, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return l, grid, dis
+}
+
+func kinds(vs []Violation) map[ViolationKind]int {
+	m := map[ViolationKind]int{}
+	for _, v := range vs {
+		m[v.Kind]++
+	}
+	return m
+}
+
+func TestCleanFillPasses(t *testing.T) {
+	l, grid, dis := testLayout(t)
+	// A feature far from the wire.
+	fs := &layout.FillSet{Grid: grid, Layer: 0, Fills: []layout.Fill{{Col: 5, Row: 5}}}
+	vs := CheckFill(l, fs, rule, dis, Options{})
+	if len(vs) != 0 {
+		t.Fatalf("clean fill flagged: %v", vs)
+	}
+}
+
+func TestBufferViolationDetected(t *testing.T) {
+	l, grid, dis := testLayout(t)
+	occ := layout.NewOccupancy(l, grid, 0)
+	// Find a blocked site (too close to the wire) and place fill there.
+	var bad layout.Fill
+	found := false
+	for c := 0; c < grid.Cols && !found; c++ {
+		for r := 0; r < grid.Rows && !found; r++ {
+			if occ.Blocked(c, r) {
+				bad = layout.Fill{Col: c, Row: r}
+				found = true
+			}
+		}
+	}
+	if !found {
+		t.Fatal("no blocked site in test layout")
+	}
+	fs := &layout.FillSet{Grid: grid, Layer: 0, Fills: []layout.Fill{bad}}
+	vs := CheckFill(l, fs, rule, dis, Options{})
+	if kinds(vs)[BufferViolation] == 0 {
+		t.Fatalf("buffer violation not detected: %v", vs)
+	}
+}
+
+func TestDuplicateAndOffGrid(t *testing.T) {
+	l, grid, _ := testLayout(t)
+	fs := &layout.FillSet{Grid: grid, Layer: 0, Fills: []layout.Fill{
+		{Col: 5, Row: 5}, {Col: 5, Row: 5}, // duplicate
+		{Col: -1, Row: 2},   // off grid
+		{Col: 9999, Row: 2}, // off grid
+	}}
+	ks := kinds(CheckFill(l, fs, rule, nil, Options{}))
+	if ks[FillOverlap] != 1 {
+		t.Errorf("duplicates = %d, want 1", ks[FillOverlap])
+	}
+	if ks[OffGrid] != 2 {
+		t.Errorf("off-grid = %d, want 2", ks[OffGrid])
+	}
+}
+
+func TestDensityBounds(t *testing.T) {
+	l, grid, dis := testLayout(t)
+	fs := &layout.FillSet{Grid: grid, Layer: 0} // no fill at all
+	vs := CheckFill(l, fs, rule, dis, Options{MinDensity: 0.2})
+	if kinds(vs)[DensityLow] == 0 {
+		t.Error("low density not flagged on an almost-empty layout")
+	}
+	// Stuff a window full of fill and flag it as too dense.
+	for c := 2; c < 12; c++ {
+		for r := 2; r < 12; r++ {
+			fs.Fills = append(fs.Fills, layout.Fill{Col: c, Row: r})
+		}
+	}
+	vs = CheckFill(l, fs, rule, dis, Options{MaxDensity: 0.05})
+	if kinds(vs)[DensityHigh] == 0 {
+		t.Error("high density not flagged")
+	}
+}
+
+func TestMaxViolationsStopsEarly(t *testing.T) {
+	l, grid, _ := testLayout(t)
+	fs := &layout.FillSet{Grid: grid, Layer: 0}
+	for i := 0; i < 50; i++ {
+		fs.Fills = append(fs.Fills, layout.Fill{Col: -1, Row: i})
+	}
+	vs := CheckFill(l, fs, rule, nil, Options{MaxViolations: 5})
+	if len(vs) != 5 {
+		t.Errorf("violations = %d, want 5", len(vs))
+	}
+}
+
+func TestCheckRects(t *testing.T) {
+	l, grid, dis := testLayout(t)
+	good := grid.SiteRect(5, 5)
+	offGrid := geom.Rect{X1: 50, Y1: 50, X2: 350, Y2: 350}
+	vs, err := CheckRects(l, []geom.Rect{good, offGrid}, 0, rule, dis, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ks := kinds(vs)
+	if ks[OffGrid] != 1 {
+		t.Errorf("off-grid rect count = %d, want 1 (%v)", ks[OffGrid], vs)
+	}
+	if len(vs) != 1 {
+		t.Errorf("violations = %v, want only the off-grid one", vs)
+	}
+}
+
+func TestViolationString(t *testing.T) {
+	v := Violation{BufferViolation, geom.Rect{X1: 1, Y1: 2, X2: 3, Y2: 4}, "near wire"}
+	s := v.String()
+	if !strings.Contains(s, "buffer-violation") || !strings.Contains(s, "near wire") {
+		t.Errorf("String = %q", s)
+	}
+	for k := OffGrid; k <= DensityHigh; k++ {
+		if strings.HasPrefix(k.String(), "ViolationKind(") {
+			t.Errorf("kind %d has no name", int(k))
+		}
+	}
+}

@@ -1,0 +1,38 @@
+package gds
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzRead feeds arbitrary bytes to the GDSII reader; it must never panic,
+// and any stream it accepts must survive a write/read round trip.
+func FuzzRead(f *testing.F) {
+	var seed bytes.Buffer
+	if err := Write(&seed, sampleLib()); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(seed.Bytes())
+	f.Add([]byte{})
+	f.Add([]byte{0, 6, 0, 2, 0, 0})
+	corrupt := append([]byte(nil), seed.Bytes()...)
+	corrupt[len(corrupt)/2] ^= 0xFF
+	f.Add(corrupt)
+	f.Fuzz(func(t *testing.T, data []byte) {
+		lib, err := Read(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		var buf bytes.Buffer
+		if err := Write(&buf, lib); err != nil {
+			t.Fatalf("accepted library failed to write: %v", err)
+		}
+		lib2, err := Read(&buf)
+		if err != nil {
+			t.Fatalf("own output failed to parse: %v", err)
+		}
+		if len(lib2.Shapes) > len(lib.Shapes) {
+			t.Fatalf("round trip grew shapes: %d -> %d", len(lib.Shapes), len(lib2.Shapes))
+		}
+	})
+}

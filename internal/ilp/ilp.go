@@ -1,0 +1,310 @@
+// Package ilp implements a branch-and-bound solver for mixed integer linear
+// programs on top of the simplex solver in internal/lp. It stands in for the
+// commercial ILP solver (CPLEX 7.0) used in the original paper; the MDFC
+// PIL-Fill instances are small enough per tile that exact branch-and-bound
+// with LP-relaxation bounds solves them to proven optimality.
+//
+// Problems have the form
+//
+//	minimize    c·x
+//	subject to  a_i·x (<=|=|>=) b_i
+//	            0 <= x_j <= Upper[j]
+//	            x_j integral for Integer/Binary variables
+//
+// Binary variables are Integer variables with an implicit upper bound of 1.
+package ilp
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"time"
+
+	"pilfill/internal/lp"
+)
+
+// VarType classifies a decision variable.
+type VarType int
+
+// Variable kinds.
+const (
+	Continuous VarType = iota
+	Integer
+	Binary
+)
+
+// Problem is a mixed integer linear program. All variables are non-negative.
+type Problem struct {
+	NumVars     int
+	Objective   []float64 // minimized
+	Constraints []lp.Constraint
+	VarTypes    []VarType // defaults to Continuous when shorter than NumVars
+	Upper       []float64 // per-variable upper bound; 0 or +Inf entries mean "none"
+}
+
+// Status describes the outcome of a MILP solve.
+type Status int
+
+// MILP outcomes.
+const (
+	Optimal    Status = iota // proven optimal
+	Feasible                 // incumbent found but limits hit before proof
+	Infeasible               // no integer-feasible point exists
+	Unbounded                // LP relaxation unbounded
+	Limit                    // limits hit with no incumbent
+)
+
+// String names the status.
+func (s Status) String() string {
+	switch s {
+	case Optimal:
+		return "optimal"
+	case Feasible:
+		return "feasible"
+	case Infeasible:
+		return "infeasible"
+	case Unbounded:
+		return "unbounded"
+	case Limit:
+		return "limit"
+	}
+	return fmt.Sprintf("Status(%d)", int(s))
+}
+
+// Solution is the result of a MILP solve.
+type Solution struct {
+	Status    Status
+	X         []float64 // integral entries for integer variables (when found)
+	Objective float64
+	Nodes     int // branch-and-bound nodes explored
+	LPPivots  int // total simplex pivots across all node LPs
+}
+
+// Options bound the search effort.
+type Options struct {
+	MaxNodes int           // 0 means DefaultMaxNodes
+	Timeout  time.Duration // 0 means no time limit
+	IntTol   float64       // integrality tolerance; 0 means 1e-6
+}
+
+// DefaultMaxNodes is the node budget applied when Options.MaxNodes is zero.
+const DefaultMaxNodes = 200_000
+
+// ErrBadProblem indicates structurally invalid input.
+var ErrBadProblem = errors.New("ilp: invalid problem")
+
+func (p *Problem) varType(j int) VarType {
+	if j < len(p.VarTypes) {
+		return p.VarTypes[j]
+	}
+	return Continuous
+}
+
+func (p *Problem) upper(j int) float64 {
+	if p.varType(j) == Binary {
+		return 1
+	}
+	if j < len(p.Upper) && p.Upper[j] > 0 && !math.IsInf(p.Upper[j], 1) {
+		return p.Upper[j]
+	}
+	return math.Inf(1)
+}
+
+// bound is an extra variable bound introduced by branching.
+type bound struct {
+	varIdx int
+	op     lp.Op // LE or GE
+	value  float64
+}
+
+// node is a branch-and-bound subproblem: the base problem plus a chain of
+// branching bounds (shared with ancestor nodes).
+type node struct {
+	bounds []bound
+	lower  float64 // parent LP bound, used for best-first ordering
+}
+
+// Solve runs branch-and-bound and returns the best solution found. An error
+// is returned only for invalid input or simplex numeric failure.
+func Solve(p *Problem, opts *Options) (*Solution, error) {
+	if p.NumVars <= 0 {
+		return nil, fmt.Errorf("%w: NumVars = %d", ErrBadProblem, p.NumVars)
+	}
+	if len(p.Objective) > p.NumVars || len(p.VarTypes) > p.NumVars || len(p.Upper) > p.NumVars {
+		return nil, fmt.Errorf("%w: coefficient vectors longer than NumVars", ErrBadProblem)
+	}
+	var o Options
+	if opts != nil {
+		o = *opts
+	}
+	if o.MaxNodes == 0 {
+		o.MaxNodes = DefaultMaxNodes
+	}
+	if o.IntTol == 0 {
+		o.IntTol = 1e-6
+	}
+	deadline := time.Time{}
+	if o.Timeout > 0 {
+		deadline = time.Now().Add(o.Timeout)
+	}
+
+	// Base constraints: the caller's rows plus finite upper bounds.
+	base := make([]lp.Constraint, 0, len(p.Constraints)+p.NumVars)
+	base = append(base, p.Constraints...)
+	for j := 0; j < p.NumVars; j++ {
+		if ub := p.upper(j); !math.IsInf(ub, 1) {
+			co := make([]float64, j+1)
+			co[j] = 1
+			base = append(base, lp.Constraint{Coeffs: co, Op: lp.LE, RHS: ub})
+		}
+	}
+
+	s := &searcher{p: p, base: base, opts: o, deadline: deadline, best: math.Inf(1)}
+	// DFS stack seeded with the root; depth-first keeps memory small and
+	// finds incumbents quickly, while the stored parent bounds let us prune
+	// by the incumbent.
+	stack := []*node{{}}
+	for len(stack) > 0 {
+		if s.nodes >= o.MaxNodes || (!deadline.IsZero() && time.Now().After(deadline)) {
+			return s.finish(false), nil
+		}
+		n := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		if n.lower >= s.best-1e-9 {
+			continue // pruned by bound discovered after the node was pushed
+		}
+		children, err := s.expand(n)
+		if err != nil {
+			return nil, err
+		}
+		stack = append(stack, children...)
+	}
+	return s.finish(true), nil
+}
+
+type searcher struct {
+	p        *Problem
+	base     []lp.Constraint
+	opts     Options
+	deadline time.Time
+	best     float64
+	bestX    []float64
+	nodes    int
+	pivots   int
+	rootUnbd bool
+	rootInfs bool
+	sawRoot  bool
+}
+
+// expand solves the node's LP relaxation and returns child nodes (if any).
+func (s *searcher) expand(n *node) ([]*node, error) {
+	s.nodes++
+	prob := &lp.Problem{
+		NumVars:     s.p.NumVars,
+		Objective:   s.p.Objective,
+		Constraints: s.base,
+	}
+	if len(n.bounds) > 0 {
+		cons := make([]lp.Constraint, len(s.base), len(s.base)+len(n.bounds))
+		copy(cons, s.base)
+		for _, b := range n.bounds {
+			co := make([]float64, b.varIdx+1)
+			co[b.varIdx] = 1
+			cons = append(cons, lp.Constraint{Coeffs: co, Op: b.op, RHS: b.value})
+		}
+		prob.Constraints = cons
+	}
+	sol, err := lp.Solve(prob)
+	if err != nil {
+		return nil, err
+	}
+	s.pivots += sol.Pivots
+	isRoot := !s.sawRoot
+	s.sawRoot = true
+	switch sol.Status {
+	case lp.Infeasible:
+		if isRoot {
+			s.rootInfs = true
+		}
+		return nil, nil
+	case lp.Unbounded:
+		if isRoot {
+			s.rootUnbd = true
+			return nil, nil
+		}
+		// A bounded-variable child cannot be unbounded if the root was not;
+		// treat as numeric trouble.
+		return nil, lp.ErrNumeric
+	}
+	if sol.Objective >= s.best-1e-9 {
+		return nil, nil // bound prune
+	}
+
+	// Find the most fractional integer variable.
+	branchVar := -1
+	worstDist := s.opts.IntTol
+	for j := 0; j < s.p.NumVars; j++ {
+		if s.p.varType(j) == Continuous {
+			continue
+		}
+		v := sol.X[j]
+		dist := math.Abs(v - math.Round(v))
+		if dist > worstDist {
+			worstDist = dist
+			branchVar = j
+		}
+	}
+	if branchVar < 0 {
+		// Integer feasible: new incumbent.
+		x := make([]float64, len(sol.X))
+		copy(x, sol.X)
+		for j := range x {
+			if s.p.varType(j) != Continuous {
+				x[j] = math.Round(x[j])
+			}
+		}
+		s.best = sol.Objective
+		s.bestX = x
+		return nil, nil
+	}
+
+	v := sol.X[branchVar]
+	floorV := math.Floor(v)
+	// Push the "down" child last so depth-first explores it first (fill
+	// problems tend to round down toward feasibility).
+	up := &node{bounds: appendBound(n.bounds, bound{branchVar, lp.GE, floorV + 1}), lower: sol.Objective}
+	down := &node{bounds: appendBound(n.bounds, bound{branchVar, lp.LE, floorV}), lower: sol.Objective}
+	return []*node{up, down}, nil
+}
+
+// appendBound copies the parent's bound chain and appends b, so siblings do
+// not share backing arrays.
+func appendBound(parent []bound, b bound) []bound {
+	out := make([]bound, len(parent)+1)
+	copy(out, parent)
+	out[len(parent)] = b
+	return out
+}
+
+// finish assembles the final Solution. complete reports whether the search
+// space was exhausted (as opposed to hitting node/time limits).
+func (s *searcher) finish(complete bool) *Solution {
+	sol := &Solution{Nodes: s.nodes, LPPivots: s.pivots}
+	switch {
+	case s.rootUnbd:
+		sol.Status = Unbounded
+	case s.bestX != nil && complete:
+		sol.Status = Optimal
+		sol.X = s.bestX
+		sol.Objective = s.best
+	case s.bestX != nil:
+		sol.Status = Feasible
+		sol.X = s.bestX
+		sol.Objective = s.best
+	case complete:
+		sol.Status = Infeasible
+	default:
+		sol.Status = Limit
+	}
+	return sol
+}

@@ -1,0 +1,72 @@
+package layout
+
+import "pilfill/internal/geom"
+
+// Transpose returns a deep copy of the layout with X and Y exchanged:
+// horizontal layers become vertical and vice versa. The fill engine assumes
+// the routing direction of the filled layer is horizontal (the paper's WLOG
+// convention); to fill a vertical layer, transpose the layout, fill, and
+// transpose the resulting fill coordinates back with TransposeFill.
+func (l *Layout) Transpose() *Layout {
+	out := &Layout{
+		Name:   l.Name,
+		Die:    transposeRect(l.Die),
+		Layers: make([]Layer, len(l.Layers)),
+	}
+	for i, ly := range l.Layers {
+		out.Layers[i] = Layer{Name: ly.Name, Width: ly.Width, Dir: ly.Dir.transpose()}
+	}
+	for _, n := range l.Nets {
+		nn := &Net{
+			Name:   n.Name,
+			Source: transposePin(n.Source),
+			Sinks:  make([]Pin, len(n.Sinks)),
+		}
+		for i, s := range n.Sinks {
+			nn.Sinks[i] = transposePin(s)
+		}
+		nn.Segments = make([]Segment, len(n.Segments))
+		for i, s := range n.Segments {
+			nn.Segments[i] = Segment{
+				Layer: s.Layer,
+				A:     transposePoint(s.A),
+				B:     transposePoint(s.B),
+				Width: s.Width,
+			}
+		}
+		out.Nets = append(out.Nets, nn)
+	}
+	return out
+}
+
+func (d Direction) transpose() Direction {
+	if d == Horizontal {
+		return Vertical
+	}
+	return Horizontal
+}
+
+func transposePoint(p geom.Point) geom.Point { return geom.Point{X: p.Y, Y: p.X} }
+
+func transposePin(p Pin) Pin { return Pin{Name: p.Name, P: transposePoint(p.P), Layer: p.Layer} }
+
+func transposeRect(r geom.Rect) geom.Rect {
+	return geom.Rect{X1: r.Y1, Y1: r.X1, X2: r.Y2, Y2: r.X2}
+}
+
+// TransposeFill maps fill features computed on a transposed layout back to
+// the original orientation. The grids of the transposed and original
+// layouts agree because Transpose swaps the die's axes and the site grid is
+// square-pitched from the die corner; a site (c, r) on the transposed
+// layout corresponds to (r, c) on the original.
+func TransposeFill(fs *FillSet, originalDie geom.Rect, rule FillRule) (*FillSet, error) {
+	grid, err := NewSiteGrid(originalDie, rule)
+	if err != nil {
+		return nil, err
+	}
+	out := &FillSet{Grid: grid, Layer: fs.Layer}
+	for _, f := range fs.Fills {
+		out.Fills = append(out.Fills, Fill{Col: f.Row, Row: f.Col})
+	}
+	return out, nil
+}

@@ -1,0 +1,122 @@
+package layout
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"pilfill/internal/geom"
+)
+
+func TestTransposeBasics(t *testing.T) {
+	l := simpleLayout()
+	l.Layers = append(l.Layers, Layer{Name: "m4", Dir: Vertical, Width: 220})
+	tr := l.Transpose()
+	if err := tr.Validate(); err != nil {
+		t.Fatalf("transposed layout invalid: %v", err)
+	}
+	if tr.Layers[0].Dir != Vertical || tr.Layers[1].Dir != Horizontal {
+		t.Error("layer directions not flipped")
+	}
+	// A horizontal segment becomes vertical.
+	if tr.Nets[0].Segments[0].Horizontal() {
+		t.Error("segment not transposed")
+	}
+	// Transpose is an involution.
+	back := tr.Transpose()
+	if back.Die != l.Die {
+		t.Errorf("die %v after double transpose, want %v", back.Die, l.Die)
+	}
+	for i := range l.Nets {
+		for j := range l.Nets[i].Segments {
+			if back.Nets[i].Segments[j] != l.Nets[i].Segments[j] {
+				t.Fatalf("net %d seg %d changed after double transpose", i, j)
+			}
+		}
+		if back.Nets[i].Source != l.Nets[i].Source {
+			t.Fatalf("net %d source changed", i)
+		}
+	}
+}
+
+func TestTransposeDeepCopy(t *testing.T) {
+	l := simpleLayout()
+	tr := l.Transpose()
+	tr.Nets[0].Segments[0].Width = 999
+	if l.Nets[0].Segments[0].Width == 999 {
+		t.Error("transpose shares segment storage with the original")
+	}
+}
+
+func TestTransposeNonSquareDie(t *testing.T) {
+	l := simpleLayout()
+	l.Die = geom.Rect{X1: 0, Y1: 0, X2: 20000, Y2: 10000}
+	l.Nets = l.Nets[:1] // keep the y=2000 net; it fits both orientations
+	tr := l.Transpose()
+	if tr.Die != (geom.Rect{X1: 0, Y1: 0, X2: 10000, Y2: 20000}) {
+		t.Errorf("die = %v", tr.Die)
+	}
+	if err := tr.Validate(); err != nil {
+		t.Fatalf("transposed non-square layout invalid: %v", err)
+	}
+}
+
+func TestTransposeFill(t *testing.T) {
+	die := geom.Rect{X1: 0, Y1: 0, X2: 10000, Y2: 10000}
+	rule := FillRule{Feature: 300, Gap: 100}
+	grid, err := NewSiteGrid(die, rule)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fs := &FillSet{Grid: grid, Layer: 0, Fills: []Fill{{Col: 2, Row: 7}, {Col: 0, Row: 0}}}
+	back, err := TransposeFill(fs, die, rule)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Fills[0] != (Fill{Col: 7, Row: 2}) || back.Fills[1] != (Fill{Col: 0, Row: 0}) {
+		t.Errorf("fills = %v", back.Fills)
+	}
+	// Geometric consistency: the transposed fill's rect is the transpose of
+	// the original rect.
+	orig := fs.Grid.SiteRect(2, 7)
+	got := back.Grid.SiteRect(7, 2)
+	if got != transposeRect(orig) {
+		t.Errorf("rect %v, want transpose of %v", got, orig)
+	}
+}
+
+func TestQuickTransposePreservesAreas(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		l := &Layout{
+			Name:   "q",
+			Die:    geom.Rect{X1: 0, Y1: 0, X2: 20000, Y2: 20000},
+			Layers: []Layer{{Name: "m", Dir: Horizontal, Width: 100}},
+		}
+		for i := 0; i < 1+rng.Intn(5); i++ {
+			y := int64(500 + rng.Intn(19000))
+			x1 := int64(500 + rng.Intn(10000))
+			x2 := x1 + 500 + int64(rng.Intn(8000))
+			l.Nets = append(l.Nets, &Net{
+				Name:   "n",
+				Source: Pin{P: geom.Point{X: x1, Y: y}},
+				Sinks:  []Pin{{P: geom.Point{X: x2, Y: y}}},
+				Segments: []Segment{{
+					A: geom.Point{X: x1, Y: y}, B: geom.Point{X: x2, Y: y}, Width: 100,
+				}},
+			})
+		}
+		var origArea, trArea int64
+		tr := l.Transpose()
+		for i := range l.Nets {
+			for j := range l.Nets[i].Segments {
+				origArea += l.Nets[i].Segments[j].Rect().Area()
+				trArea += tr.Nets[i].Segments[j].Rect().Area()
+			}
+		}
+		return origArea == trArea
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

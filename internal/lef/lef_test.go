@@ -1,0 +1,150 @@
+package lef
+
+import (
+	"strings"
+	"testing"
+
+	"pilfill/internal/layout"
+)
+
+const sample = `
+VERSION 5.6 ;
+UNITS
+  DATABASE MICRONS 1000 ;
+END UNITS
+
+LAYER poly
+  TYPE MASTERSLICE ;
+END poly
+
+LAYER m3
+  TYPE ROUTING ;
+  DIRECTION HORIZONTAL ;
+  WIDTH 0.2 ;
+  PITCH 0.6 ;
+  SPACING 0.21 ;
+  RESISTANCE RPERSQ 0.08 ;
+END m3
+
+LAYER m4
+  TYPE ROUTING ;
+  DIRECTION VERTICAL ;
+  WIDTH 0.22 ;
+END m4
+
+END LIBRARY
+`
+
+func TestParseSample(t *testing.T) {
+	lib, err := Parse(strings.NewReader(sample))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(lib.Layers) != 2 {
+		t.Fatalf("layers = %d, want 2 (masterslice skipped)", len(lib.Layers))
+	}
+	m3 := lib.Layers[0]
+	if m3.Name != "m3" || m3.Dir != layout.Horizontal || m3.Width != 200 || m3.Pitch != 600 || m3.Spacing != 210 {
+		t.Errorf("m3 = %+v", m3)
+	}
+	m4 := lib.Layers[1]
+	if m4.Name != "m4" || m4.Dir != layout.Vertical || m4.Width != 220 {
+		t.Errorf("m4 = %+v", m4)
+	}
+	ll := lib.LayoutLayers()
+	if len(ll) != 2 || ll[0].Name != "m3" || ll[0].Width != 200 {
+		t.Errorf("LayoutLayers = %+v", ll)
+	}
+}
+
+func TestParseCaseInsensitiveKeywords(t *testing.T) {
+	src := `
+layer metal1
+  type routing ;
+  direction horizontal ;
+  width 0.1 ;
+end metal1
+end library
+`
+	lib, err := Parse(strings.NewReader(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(lib.Layers) != 1 || lib.Layers[0].Width != 100 {
+		t.Errorf("layers = %+v", lib.Layers)
+	}
+}
+
+func TestParseComments(t *testing.T) {
+	src := `
+# header comment
+LAYER m1      # inline
+  TYPE ROUTING ;
+  WIDTH 0.14 ; # also inline
+END m1
+END LIBRARY
+`
+	lib, err := Parse(strings.NewReader(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(lib.Layers) != 1 || lib.Layers[0].Width != 140 {
+		t.Errorf("layers = %+v", lib.Layers)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := map[string]string{
+		"no end library": "LAYER m1\n TYPE ROUTING ;\n WIDTH 0.1 ;\nEND m1\n",
+		"bad direction":  "LAYER m1\n TYPE ROUTING ;\n DIRECTION DIAGONAL ;\n WIDTH 0.1 ;\nEND m1\nEND LIBRARY",
+		"mismatched end": "LAYER m1\n TYPE ROUTING ;\n WIDTH 0.1 ;\nEND m2\nEND LIBRARY",
+		"no width":       "LAYER m1\n TYPE ROUTING ;\nEND m1\nEND LIBRARY",
+		"bad width":      "LAYER m1\n TYPE ROUTING ;\n WIDTH abc ;\nEND m1\nEND LIBRARY",
+		"neg width":      "LAYER m1\n TYPE ROUTING ;\n WIDTH -0.1 ;\nEND m1\nEND LIBRARY",
+		"dup layer":      "LAYER m1\n TYPE ROUTING ;\n WIDTH 0.1 ;\nEND m1\nLAYER m1\n TYPE ROUTING ;\n WIDTH 0.1 ;\nEND m1\nEND LIBRARY",
+		"garbage":        "HELLO WORLD ;\nEND LIBRARY",
+		"truncated":      "LAYER m1\n TYPE ROUTING",
+	}
+	for name, src := range cases {
+		if _, err := Parse(strings.NewReader(src)); err == nil {
+			t.Errorf("%s: expected error", name)
+		}
+	}
+}
+
+func TestUnknownStatementsSkipped(t *testing.T) {
+	src := `
+LAYER m1
+  TYPE ROUTING ;
+  WIDTH 0.1 ;
+  CAPACITANCE CPERSQDIST 0.00008 ;
+  THICKNESS 0.35 ;
+  EDGECAPACITANCE 0.00001 ;
+END m1
+END LIBRARY
+`
+	lib, err := Parse(strings.NewReader(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(lib.Layers) != 1 {
+		t.Fatalf("layers = %+v", lib.Layers)
+	}
+}
+
+func FuzzParse(f *testing.F) {
+	f.Add(sample)
+	f.Add("END LIBRARY")
+	f.Add("LAYER x\nEND x\nEND LIBRARY")
+	f.Fuzz(func(t *testing.T, src string) {
+		lib, err := Parse(strings.NewReader(src))
+		if err != nil {
+			return
+		}
+		for _, l := range lib.Layers {
+			if l.Width <= 0 {
+				t.Fatalf("accepted routing layer with width %d", l.Width)
+			}
+		}
+	})
+}

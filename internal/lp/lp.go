@@ -1,0 +1,421 @@
+// Package lp implements a dense two-phase primal simplex solver for linear
+// programs in the form
+//
+//	minimize    c·x
+//	subject to  a_i·x  (<=|=|>=)  b_i     for each constraint i
+//	            x >= 0
+//
+// Upper bounds on individual variables are expressed as ordinary <=
+// constraints by the caller (package ilp does this when branching).
+//
+// The solver uses Bland's smallest-index pivoting rule, which guarantees
+// termination (no cycling) at the cost of some speed. The fill-synthesis
+// LPs solved here are small (tens to a few hundred variables per tile), so
+// robustness is worth far more than pivot-rule cleverness.
+package lp
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// Op is a constraint comparison operator.
+type Op int
+
+// Constraint operators.
+const (
+	LE Op = iota // a·x <= b
+	GE           // a·x >= b
+	EQ           // a·x == b
+)
+
+// String returns the conventional symbol for the operator.
+func (op Op) String() string {
+	switch op {
+	case LE:
+		return "<="
+	case GE:
+		return ">="
+	case EQ:
+		return "=="
+	}
+	return fmt.Sprintf("Op(%d)", int(op))
+}
+
+// Constraint is a single linear row a·x Op b. Coeffs may be shorter than the
+// problem's variable count; missing entries are zero.
+type Constraint struct {
+	Coeffs []float64
+	Op     Op
+	RHS    float64
+}
+
+// Problem is a linear program over NumVars non-negative variables.
+type Problem struct {
+	NumVars     int
+	Objective   []float64 // minimized; may be shorter than NumVars (zeros)
+	Constraints []Constraint
+}
+
+// Status describes the outcome of a solve.
+type Status int
+
+// Solver outcomes.
+const (
+	Optimal Status = iota
+	Infeasible
+	Unbounded
+)
+
+// String names the status.
+func (s Status) String() string {
+	switch s {
+	case Optimal:
+		return "optimal"
+	case Infeasible:
+		return "infeasible"
+	case Unbounded:
+		return "unbounded"
+	}
+	return fmt.Sprintf("Status(%d)", int(s))
+}
+
+// Solution holds the result of solving a Problem.
+type Solution struct {
+	Status    Status
+	X         []float64 // length NumVars; valid only when Status == Optimal
+	Objective float64   // c·x at the optimum
+	Pivots    int       // total simplex pivots across both phases
+}
+
+const eps = 1e-9
+
+// maxPivots caps the total pivot count as a safety net; Bland's rule cannot
+// cycle, so hitting this indicates a malformed (e.g. NaN-laden) problem.
+const maxPivots = 2_000_000
+
+// ErrNumeric is returned when the tableau degenerates (NaN/Inf) or the pivot
+// budget is exhausted.
+var ErrNumeric = errors.New("lp: numeric failure or pivot limit exceeded")
+
+// Validate checks structural consistency of the problem.
+func (p *Problem) Validate() error {
+	if p.NumVars <= 0 {
+		return fmt.Errorf("lp: NumVars = %d, need >= 1", p.NumVars)
+	}
+	if len(p.Objective) > p.NumVars {
+		return fmt.Errorf("lp: objective has %d coefficients for %d variables", len(p.Objective), p.NumVars)
+	}
+	for i, c := range p.Constraints {
+		if len(c.Coeffs) > p.NumVars {
+			return fmt.Errorf("lp: constraint %d has %d coefficients for %d variables", i, len(c.Coeffs), p.NumVars)
+		}
+		if math.IsNaN(c.RHS) || math.IsInf(c.RHS, 0) {
+			return fmt.Errorf("lp: constraint %d has non-finite RHS %v", i, c.RHS)
+		}
+		for j, v := range c.Coeffs {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				return fmt.Errorf("lp: constraint %d coefficient %d is non-finite", i, j)
+			}
+		}
+	}
+	for j, v := range p.Objective {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			return fmt.Errorf("lp: objective coefficient %d is non-finite", j)
+		}
+	}
+	return nil
+}
+
+// tableau is the dense working state of the simplex method.
+type tableau struct {
+	m, n       int         // constraint rows, structural variables
+	cols       int         // total columns excluding RHS
+	artStart   int         // first artificial column index
+	rows       [][]float64 // m rows, each cols+1 wide (last = RHS)
+	obj        []float64   // reduced-cost row, cols+1 wide (last = -objective value)
+	basis      []int       // column basic in each row
+	allowedCol []bool      // false for artificial columns in phase 2
+	pivots     int
+}
+
+// Solve optimizes the problem and returns the solution. The returned error is
+// non-nil only for malformed problems or numeric breakdown; infeasibility and
+// unboundedness are reported through Solution.Status.
+func Solve(p *Problem) (*Solution, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	t, err := newTableau(p)
+	if err != nil {
+		return nil, err
+	}
+
+	// Phase 1: minimize the sum of artificial variables.
+	phase1 := make([]float64, t.cols)
+	for j := t.artStart; j < t.cols; j++ {
+		phase1[j] = 1
+	}
+	t.setObjective(phase1)
+	if err := t.optimize(); err != nil {
+		return nil, err
+	}
+	if t.objectiveValue() > 1e-7 {
+		return &Solution{Status: Infeasible, Pivots: t.pivots}, nil
+	}
+	if err := t.driveOutArtificials(); err != nil {
+		return nil, err
+	}
+	for j := t.artStart; j < t.cols; j++ {
+		t.allowedCol[j] = false
+	}
+
+	// Phase 2: minimize the real objective.
+	phase2 := make([]float64, t.cols)
+	copy(phase2, p.Objective)
+	t.setObjective(phase2)
+	if err := t.optimize(); err != nil {
+		if errors.Is(err, errUnbounded) {
+			return &Solution{Status: Unbounded, Pivots: t.pivots}, nil
+		}
+		return nil, err
+	}
+
+	x := make([]float64, p.NumVars)
+	for i, b := range t.basis {
+		if b < p.NumVars {
+			x[b] = t.rows[i][t.cols]
+		}
+	}
+	// Clamp tiny negative noise so downstream rounding is clean.
+	for j := range x {
+		if x[j] < 0 && x[j] > -1e-7 {
+			x[j] = 0
+		}
+	}
+	return &Solution{
+		Status:    Optimal,
+		X:         x,
+		Objective: t.objectiveValue(),
+		Pivots:    t.pivots,
+	}, nil
+}
+
+var errUnbounded = errors.New("lp: unbounded")
+
+// newTableau builds the initial tableau with slack, surplus, and artificial
+// columns, leaving an all-artificial-or-slack starting basis.
+func newTableau(p *Problem) (*tableau, error) {
+	m := len(p.Constraints)
+	n := p.NumVars
+
+	// Count slack/surplus columns and decide which rows need artificials.
+	// After normalizing RHS >= 0:
+	//   LE rows get +slack (slack basic, no artificial needed),
+	//   GE rows get -surplus and an artificial,
+	//   EQ rows get an artificial.
+	type rowPlan struct {
+		coeffs []float64
+		rhs    float64
+		op     Op
+	}
+	plans := make([]rowPlan, m)
+	slackCount := 0
+	artCount := 0
+	for i, c := range p.Constraints {
+		coeffs := make([]float64, n)
+		copy(coeffs, c.Coeffs)
+		rhs := c.RHS
+		op := c.Op
+		if rhs < 0 {
+			for j := range coeffs {
+				coeffs[j] = -coeffs[j]
+			}
+			rhs = -rhs
+			switch op {
+			case LE:
+				op = GE
+			case GE:
+				op = LE
+			}
+		}
+		plans[i] = rowPlan{coeffs, rhs, op}
+		switch op {
+		case LE:
+			slackCount++
+		case GE:
+			slackCount++
+			artCount++
+		case EQ:
+			artCount++
+		}
+	}
+
+	cols := n + slackCount + artCount
+	t := &tableau{
+		m:          m,
+		n:          n,
+		cols:       cols,
+		artStart:   n + slackCount,
+		rows:       make([][]float64, m),
+		basis:      make([]int, m),
+		allowedCol: make([]bool, cols),
+	}
+	for j := 0; j < cols; j++ {
+		t.allowedCol[j] = true
+	}
+
+	slackIdx := n
+	artIdx := t.artStart
+	for i, plan := range plans {
+		row := make([]float64, cols+1)
+		copy(row, plan.coeffs)
+		row[cols] = plan.rhs
+		switch plan.op {
+		case LE:
+			row[slackIdx] = 1
+			t.basis[i] = slackIdx
+			slackIdx++
+		case GE:
+			row[slackIdx] = -1
+			slackIdx++
+			row[artIdx] = 1
+			t.basis[i] = artIdx
+			artIdx++
+		case EQ:
+			row[artIdx] = 1
+			t.basis[i] = artIdx
+			artIdx++
+		}
+		t.rows[i] = row
+	}
+	return t, nil
+}
+
+// setObjective installs cost vector c (length cols) as the reduced-cost row
+// consistent with the current basis: obj[j] = c_j - Σ_i c_B(i)·T[i][j].
+func (t *tableau) setObjective(c []float64) {
+	obj := make([]float64, t.cols+1)
+	copy(obj, c)
+	for i, b := range t.basis {
+		cb := 0.0
+		if b < len(c) {
+			cb = c[b]
+		}
+		if cb == 0 {
+			continue
+		}
+		row := t.rows[i]
+		for j := 0; j <= t.cols; j++ {
+			obj[j] -= cb * row[j]
+		}
+	}
+	t.obj = obj
+}
+
+// objectiveValue returns the current value of the installed objective.
+func (t *tableau) objectiveValue() float64 { return -t.obj[t.cols] }
+
+// optimize pivots until no improving column remains (Bland's rule).
+func (t *tableau) optimize() error {
+	for {
+		enter := -1
+		for j := 0; j < t.cols; j++ {
+			if t.allowedCol[j] && t.obj[j] < -eps {
+				enter = j
+				break
+			}
+		}
+		if enter < 0 {
+			return nil
+		}
+		leave := -1
+		bestRatio := math.Inf(1)
+		for i := 0; i < t.m; i++ {
+			a := t.rows[i][enter]
+			if a > eps {
+				ratio := t.rows[i][t.cols] / a
+				if ratio < bestRatio-eps ||
+					(ratio < bestRatio+eps && (leave < 0 || t.basis[i] < t.basis[leave])) {
+					bestRatio = ratio
+					leave = i
+				}
+			}
+		}
+		if leave < 0 {
+			return errUnbounded
+		}
+		if err := t.pivot(leave, enter); err != nil {
+			return err
+		}
+	}
+}
+
+// pivot makes column enter basic in row leave.
+func (t *tableau) pivot(leave, enter int) error {
+	t.pivots++
+	if t.pivots > maxPivots {
+		return ErrNumeric
+	}
+	prow := t.rows[leave]
+	pval := prow[enter]
+	if math.Abs(pval) < eps || math.IsNaN(pval) {
+		return ErrNumeric
+	}
+	inv := 1 / pval
+	for j := 0; j <= t.cols; j++ {
+		prow[j] *= inv
+	}
+	prow[enter] = 1 // cancel roundoff exactly on the pivot element
+	for i := 0; i < t.m; i++ {
+		if i == leave {
+			continue
+		}
+		row := t.rows[i]
+		f := row[enter]
+		if f == 0 {
+			continue
+		}
+		for j := 0; j <= t.cols; j++ {
+			row[j] -= f * prow[j]
+		}
+		row[enter] = 0
+	}
+	f := t.obj[enter]
+	if f != 0 {
+		for j := 0; j <= t.cols; j++ {
+			t.obj[j] -= f * prow[j]
+		}
+		t.obj[enter] = 0
+	}
+	t.basis[leave] = enter
+	return nil
+}
+
+// driveOutArtificials removes artificial variables from the basis after
+// phase 1. A basic artificial at value 0 is swapped for any non-artificial
+// column with a nonzero entry in its row; if none exists the row is
+// redundant and is left in place with the artificial pinned at zero.
+func (t *tableau) driveOutArtificials() error {
+	for i := 0; i < t.m; i++ {
+		if t.basis[i] < t.artStart {
+			continue
+		}
+		swapped := false
+		for j := 0; j < t.artStart; j++ {
+			if math.Abs(t.rows[i][j]) > eps {
+				if err := t.pivot(i, j); err != nil {
+					return err
+				}
+				swapped = true
+				break
+			}
+		}
+		if !swapped && t.rows[i][t.cols] > 1e-7 {
+			// A redundant row must have zero RHS at a phase-1 optimum.
+			return ErrNumeric
+		}
+	}
+	return nil
+}

@@ -1,0 +1,394 @@
+package lp
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func solveOK(t *testing.T, p *Problem) *Solution {
+	t.Helper()
+	sol, err := Solve(p)
+	if err != nil {
+		t.Fatalf("Solve: %v", err)
+	}
+	return sol
+}
+
+func approx(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+func TestSimpleMaximization(t *testing.T) {
+	// maximize 3x + 5y  s.t. x <= 4, 2y <= 12, 3x + 2y <= 18  (classic)
+	// => minimize -3x - 5y; optimum x=2, y=6, obj=-36.
+	p := &Problem{
+		NumVars:   2,
+		Objective: []float64{-3, -5},
+		Constraints: []Constraint{
+			{Coeffs: []float64{1, 0}, Op: LE, RHS: 4},
+			{Coeffs: []float64{0, 2}, Op: LE, RHS: 12},
+			{Coeffs: []float64{3, 2}, Op: LE, RHS: 18},
+		},
+	}
+	sol := solveOK(t, p)
+	if sol.Status != Optimal {
+		t.Fatalf("status = %v, want optimal", sol.Status)
+	}
+	if !approx(sol.Objective, -36, 1e-6) {
+		t.Errorf("objective = %g, want -36", sol.Objective)
+	}
+	if !approx(sol.X[0], 2, 1e-6) || !approx(sol.X[1], 6, 1e-6) {
+		t.Errorf("x = %v, want [2 6]", sol.X)
+	}
+}
+
+func TestEqualityConstraint(t *testing.T) {
+	// minimize x + 2y  s.t. x + y == 10, x <= 7 => x=7, y=3, obj=13.
+	p := &Problem{
+		NumVars:   2,
+		Objective: []float64{1, 2},
+		Constraints: []Constraint{
+			{Coeffs: []float64{1, 1}, Op: EQ, RHS: 10},
+			{Coeffs: []float64{1, 0}, Op: LE, RHS: 7},
+		},
+	}
+	sol := solveOK(t, p)
+	if sol.Status != Optimal {
+		t.Fatalf("status = %v", sol.Status)
+	}
+	if !approx(sol.Objective, 13, 1e-6) {
+		t.Errorf("objective = %g, want 13", sol.Objective)
+	}
+}
+
+func TestGEConstraints(t *testing.T) {
+	// minimize 2x + 3y  s.t. x + y >= 4, x + 2y >= 6, x,y >= 0.
+	// Optimum at intersection (2,2): obj = 10.
+	p := &Problem{
+		NumVars:   2,
+		Objective: []float64{2, 3},
+		Constraints: []Constraint{
+			{Coeffs: []float64{1, 1}, Op: GE, RHS: 4},
+			{Coeffs: []float64{1, 2}, Op: GE, RHS: 6},
+		},
+	}
+	sol := solveOK(t, p)
+	if sol.Status != Optimal {
+		t.Fatalf("status = %v", sol.Status)
+	}
+	if !approx(sol.Objective, 10, 1e-6) {
+		t.Errorf("objective = %g, want 10 (x=%v)", sol.Objective, sol.X)
+	}
+}
+
+func TestInfeasible(t *testing.T) {
+	p := &Problem{
+		NumVars:   1,
+		Objective: []float64{1},
+		Constraints: []Constraint{
+			{Coeffs: []float64{1}, Op: GE, RHS: 5},
+			{Coeffs: []float64{1}, Op: LE, RHS: 3},
+		},
+	}
+	sol := solveOK(t, p)
+	if sol.Status != Infeasible {
+		t.Fatalf("status = %v, want infeasible", sol.Status)
+	}
+}
+
+func TestUnbounded(t *testing.T) {
+	// minimize -x with only x >= 0 is unbounded below.
+	p := &Problem{
+		NumVars:   1,
+		Objective: []float64{-1},
+		Constraints: []Constraint{
+			{Coeffs: []float64{1}, Op: GE, RHS: 0},
+		},
+	}
+	sol := solveOK(t, p)
+	if sol.Status != Unbounded {
+		t.Fatalf("status = %v, want unbounded", sol.Status)
+	}
+}
+
+func TestNegativeRHSNormalization(t *testing.T) {
+	// x - y <= -2 with minimize x+y: flip to y - x >= 2 => x=0, y=2.
+	p := &Problem{
+		NumVars:   2,
+		Objective: []float64{1, 1},
+		Constraints: []Constraint{
+			{Coeffs: []float64{1, -1}, Op: LE, RHS: -2},
+		},
+	}
+	sol := solveOK(t, p)
+	if sol.Status != Optimal {
+		t.Fatalf("status = %v", sol.Status)
+	}
+	if !approx(sol.Objective, 2, 1e-6) {
+		t.Errorf("objective = %g, want 2 (x=%v)", sol.Objective, sol.X)
+	}
+}
+
+func TestDegenerateNoCycle(t *testing.T) {
+	// Beale's classic cycling example; Bland's rule must terminate.
+	p := &Problem{
+		NumVars:   4,
+		Objective: []float64{-0.75, 150, -0.02, 6},
+		Constraints: []Constraint{
+			{Coeffs: []float64{0.25, -60, -0.04, 9}, Op: LE, RHS: 0},
+			{Coeffs: []float64{0.5, -90, -0.02, 3}, Op: LE, RHS: 0},
+			{Coeffs: []float64{0, 0, 1, 0}, Op: LE, RHS: 1},
+		},
+	}
+	sol := solveOK(t, p)
+	if sol.Status != Optimal {
+		t.Fatalf("status = %v", sol.Status)
+	}
+	if !approx(sol.Objective, -0.05, 1e-6) {
+		t.Errorf("objective = %g, want -0.05", sol.Objective)
+	}
+}
+
+func TestRedundantEqualities(t *testing.T) {
+	// Duplicated equality rows must not break phase-1 cleanup.
+	p := &Problem{
+		NumVars:   2,
+		Objective: []float64{1, 1},
+		Constraints: []Constraint{
+			{Coeffs: []float64{1, 1}, Op: EQ, RHS: 4},
+			{Coeffs: []float64{2, 2}, Op: EQ, RHS: 8},
+		},
+	}
+	sol := solveOK(t, p)
+	if sol.Status != Optimal {
+		t.Fatalf("status = %v", sol.Status)
+	}
+	if !approx(sol.Objective, 4, 1e-6) {
+		t.Errorf("objective = %g, want 4", sol.Objective)
+	}
+}
+
+func TestValidateRejectsBadProblems(t *testing.T) {
+	cases := []*Problem{
+		{NumVars: 0},
+		{NumVars: 1, Objective: []float64{1, 2}},
+		{NumVars: 1, Constraints: []Constraint{{Coeffs: []float64{1, 2}, RHS: 0}}},
+		{NumVars: 1, Constraints: []Constraint{{Coeffs: []float64{math.NaN()}, RHS: 0}}},
+		{NumVars: 1, Constraints: []Constraint{{Coeffs: []float64{1}, RHS: math.Inf(1)}}},
+		{NumVars: 1, Objective: []float64{math.NaN()}},
+	}
+	for i, p := range cases {
+		if _, err := Solve(p); err == nil {
+			t.Errorf("case %d: expected validation error", i)
+		}
+	}
+}
+
+func TestShortCoefficientVectors(t *testing.T) {
+	// Objective/constraint vectors shorter than NumVars are zero-extended.
+	p := &Problem{
+		NumVars:   3,
+		Objective: []float64{1}, // minimize x0 only
+		Constraints: []Constraint{
+			{Coeffs: []float64{1, 1}, Op: GE, RHS: 2}, // x0 + x1 >= 2
+		},
+	}
+	sol := solveOK(t, p)
+	if sol.Status != Optimal {
+		t.Fatalf("status = %v", sol.Status)
+	}
+	if !approx(sol.Objective, 0, 1e-6) {
+		t.Errorf("objective = %g, want 0 (x1 should absorb)", sol.Objective)
+	}
+}
+
+// TestTransportationProblem exercises a larger structured LP with a known
+// optimum (balanced transportation, 3 supplies x 4 demands).
+func TestTransportationProblem(t *testing.T) {
+	cost := [][]float64{
+		{4, 6, 8, 8},
+		{6, 8, 6, 7},
+		{5, 7, 6, 8},
+	}
+	supply := []float64{40, 40, 20}
+	demand := []float64{20, 30, 30, 20}
+	nv := 12
+	obj := make([]float64, nv)
+	for i := 0; i < 3; i++ {
+		for j := 0; j < 4; j++ {
+			obj[i*4+j] = cost[i][j]
+		}
+	}
+	var cons []Constraint
+	for i := 0; i < 3; i++ {
+		co := make([]float64, nv)
+		for j := 0; j < 4; j++ {
+			co[i*4+j] = 1
+		}
+		cons = append(cons, Constraint{Coeffs: co, Op: EQ, RHS: supply[i]})
+	}
+	for j := 0; j < 4; j++ {
+		co := make([]float64, nv)
+		for i := 0; i < 3; i++ {
+			co[i*4+j] = 1
+		}
+		cons = append(cons, Constraint{Coeffs: co, Op: EQ, RHS: demand[j]})
+	}
+	sol := solveOK(t, &Problem{NumVars: nv, Objective: obj, Constraints: cons})
+	if sol.Status != Optimal {
+		t.Fatalf("status = %v", sol.Status)
+	}
+	// Verify feasibility of the returned vertex.
+	for i, c := range cons {
+		got := 0.0
+		for j, v := range c.Coeffs {
+			got += v * sol.X[j]
+		}
+		if !approx(got, c.RHS, 1e-6) {
+			t.Errorf("constraint %d: %g != %g", i, got, c.RHS)
+		}
+	}
+	// LP optimum for this balanced instance is 590 (verified by the MODI
+	// optimality conditions: all reduced costs non-negative).
+	if !approx(sol.Objective, 590, 1e-5) {
+		t.Errorf("objective = %g, want 590", sol.Objective)
+	}
+}
+
+// TestQuickFeasibilityOfOptimum generates random bounded-feasible LPs and
+// checks that any claimed optimum satisfies every constraint.
+func TestQuickFeasibilityOfOptimum(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(5)
+		m := 1 + rng.Intn(6)
+		p := &Problem{NumVars: n, Objective: make([]float64, n)}
+		for j := range p.Objective {
+			p.Objective[j] = rng.Float64()*4 - 2
+		}
+		// Keep the region bounded: box constraints plus random LE rows with
+		// non-negative coefficients (always feasible at origin).
+		for j := 0; j < n; j++ {
+			co := make([]float64, n)
+			co[j] = 1
+			p.Constraints = append(p.Constraints, Constraint{Coeffs: co, Op: LE, RHS: 1 + rng.Float64()*9})
+		}
+		for i := 0; i < m; i++ {
+			co := make([]float64, n)
+			for j := range co {
+				co[j] = rng.Float64() * 2
+			}
+			p.Constraints = append(p.Constraints, Constraint{Coeffs: co, Op: LE, RHS: 1 + rng.Float64()*20})
+		}
+		sol, err := Solve(p)
+		if err != nil || sol.Status != Optimal {
+			return false
+		}
+		for _, c := range p.Constraints {
+			lhs := 0.0
+			for j, v := range c.Coeffs {
+				lhs += v * sol.X[j]
+			}
+			if lhs > c.RHS+1e-6 {
+				return false
+			}
+		}
+		for _, x := range sol.X {
+			if x < -1e-7 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickWeakDuality checks c·x >= y·b for random feasible duals built by
+// hand: for pure LE problems with x >= 0, any y >= 0 with yᵀA <= c gives a
+// lower bound y·b on the optimum.
+func TestQuickWeakDuality(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(4)
+		m := 2 + rng.Intn(4)
+		A := make([][]float64, m)
+		b := make([]float64, m)
+		for i := range A {
+			A[i] = make([]float64, n)
+			for j := range A[i] {
+				A[i][j] = rng.Float64() * 3
+			}
+			b[i] = 1 + rng.Float64()*10
+		}
+		// Build a dual-feasible y first, then a compatible c >= yᵀA,
+		// and minimize -c (i.e. maximize c·x) — wait, we minimize, so use
+		// the GE form: minimize c·x s.t. A x >= b needs c >= yᵀA with y>=0.
+		y := make([]float64, m)
+		for i := range y {
+			y[i] = rng.Float64()
+		}
+		c := make([]float64, n)
+		for j := 0; j < n; j++ {
+			s := 0.0
+			for i := 0; i < m; i++ {
+				s += y[i] * A[i][j]
+			}
+			c[j] = s + rng.Float64() // c_j >= (yᵀA)_j
+		}
+		p := &Problem{NumVars: n, Objective: c}
+		for i := 0; i < m; i++ {
+			p.Constraints = append(p.Constraints, Constraint{Coeffs: A[i], Op: GE, RHS: b[i]})
+		}
+		sol, err := Solve(p)
+		if err != nil {
+			return false
+		}
+		if sol.Status != Optimal {
+			// With strictly positive A and b the problem is feasible and
+			// bounded below by y·b >= 0, so Optimal is required.
+			return false
+		}
+		yb := 0.0
+		for i := range y {
+			yb += y[i] * b[i]
+		}
+		return sol.Objective >= yb-1e-6
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkSolveTransportation(b *testing.B) {
+	rng := rand.New(rand.NewSource(7))
+	ns, nd := 8, 10
+	nv := ns * nd
+	obj := make([]float64, nv)
+	for i := range obj {
+		obj[i] = 1 + rng.Float64()*9
+	}
+	var cons []Constraint
+	for i := 0; i < ns; i++ {
+		co := make([]float64, nv)
+		for j := 0; j < nd; j++ {
+			co[i*nd+j] = 1
+		}
+		cons = append(cons, Constraint{Coeffs: co, Op: EQ, RHS: 50})
+	}
+	for j := 0; j < nd; j++ {
+		co := make([]float64, nv)
+		for i := 0; i < ns; i++ {
+			co[i*nd+j] = 1
+		}
+		cons = append(cons, Constraint{Coeffs: co, Op: EQ, RHS: 40})
+	}
+	p := &Problem{NumVars: nv, Objective: obj, Constraints: cons}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Solve(p); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,352 @@
+// Package scanline extracts slack site columns — the decision variables of
+// the MDFC PIL-Fill problem — from a routed layout, implementing the
+// scan-line algorithm of Fig 7 of the paper and its three slack-column
+// definitions (Figs 4–6):
+//
+//   - DefI captures only columns between pairs of active lines inside the
+//     tile; slack adjacent to tile boundaries is unusable.
+//   - DefII adds columns bounded by tile boundaries, but attributes no
+//     active line (and hence no delay cost) to the boundary side — the
+//     inaccuracy the paper points out for blocks like its Fig 5 "B".
+//   - DefIII sweeps the whole layout, so a column is always bounded by the
+//     nearest active lines even when they live in adjacent tiles, or by the
+//     layout boundary; this is the most accurate definition.
+//
+// The routing direction is assumed horizontal (the paper's WLOG choice);
+// columns are vertical runs of free fill sites between two horizontal
+// bounds.
+package scanline
+
+import (
+	"fmt"
+
+	"pilfill/internal/geom"
+	"pilfill/internal/layout"
+)
+
+// Def selects a slack-column definition.
+type Def int
+
+// Slack-column definitions, in increasing order of modeling accuracy.
+const (
+	DefI Def = iota + 1
+	DefII
+	DefIII
+)
+
+// String names the definition.
+func (d Def) String() string {
+	switch d {
+	case DefI:
+		return "SlackColumn-I"
+	case DefII:
+		return "SlackColumn-II"
+	case DefIII:
+		return "SlackColumn-III"
+	}
+	return fmt.Sprintf("Def(%d)", int(d))
+}
+
+// Column is one slack site column within a tile: a vertical run of fill
+// sites at site-column index Col, bounded below and above by active lines or
+// by a boundary.
+type Column struct {
+	Col      int   // site column index in the global grid
+	X        int64 // center X of the column's sites
+	YLo, YHi int64 // the gap's vertical extent (drawn edges of the bounds)
+	Capacity int   // free sites available within this tile's part of the gap
+	RowLo    int   // first candidate site row (inclusive) within the tile
+	RowHi    int   // last candidate site row (exclusive)
+
+	// HasLow/HasHigh report whether an active line bounds the gap on that
+	// side (false = tile or layout boundary, depending on the definition).
+	HasLow, HasHigh bool
+	Low, High       layout.SegRef // valid when the corresponding Has* is true
+}
+
+// Spacing returns the line-pair distance d used by the capacitance model.
+func (c *Column) Spacing() int64 { return c.YHi - c.YLo }
+
+// TileColumns is the per-tile result: the columns overlapping tile (I, J).
+type TileColumns struct {
+	I, J int
+	Rect geom.Rect
+	Cols []Column
+}
+
+// TotalCapacity sums the capacities of the tile's columns.
+func (tc *TileColumns) TotalCapacity() int {
+	n := 0
+	for i := range tc.Cols {
+		n += tc.Cols[i].Capacity
+	}
+	return n
+}
+
+// gap is an intermediate sweep artifact: an open vertical interval at one
+// site column.
+type gap struct {
+	col      int
+	yLo, yHi int64
+	lowIdx   int // index into the sweep's line list, -1 = boundary
+	highIdx  int
+}
+
+// sweep runs the Fig 7 scan over the given horizontal lines within region,
+// producing all vertical gaps per site column. Lines must be sorted by YBot
+// (layout.HLines guarantees this). Line extents are clipped to the region.
+func sweep(lines []layout.HLine, grid *layout.SiteGrid, region geom.Rect) []gap {
+	cLo, cHi := grid.ColRange(region.X1, region.X2)
+	n := cHi - cLo
+	if n <= 0 {
+		return nil
+	}
+	openStart := make([]int64, n)
+	openLow := make([]int, n)
+	for i := range openStart {
+		openStart[i] = region.Y1
+		openLow[i] = -1
+	}
+	var gaps []gap
+	for li, ln := range lines {
+		yBot, yTop := ln.YBot, ln.YTop
+		if yTop <= region.Y1 || yBot >= region.Y2 {
+			continue
+		}
+		if yBot < region.Y1 {
+			yBot = region.Y1
+		}
+		if yTop > region.Y2 {
+			yTop = region.Y2
+		}
+		x1, x2 := ln.X1, ln.X2
+		if x1 < region.X1 {
+			x1 = region.X1
+		}
+		if x2 > region.X2 {
+			x2 = region.X2
+		}
+		if x1 >= x2 {
+			continue
+		}
+		gLo, gHi := grid.ColRange(x1, x2)
+		for c := gLo; c < gHi; c++ {
+			k := c - cLo
+			if yBot > openStart[k] {
+				gaps = append(gaps, gap{col: c, yLo: openStart[k], yHi: yBot, lowIdx: openLow[k], highIdx: li})
+			}
+			if yTop > openStart[k] {
+				openStart[k] = yTop
+				openLow[k] = li
+			}
+		}
+	}
+	for c := cLo; c < cHi; c++ {
+		k := c - cLo
+		if region.Y2 > openStart[k] {
+			gaps = append(gaps, gap{col: c, yLo: openStart[k], yHi: region.Y2, lowIdx: openLow[k], highIdx: -1})
+		}
+	}
+	return gaps
+}
+
+// fullRows returns the half-open row range of sites whose feature squares
+// lie fully inside [yLo, yHi).
+func fullRows(grid *layout.SiteGrid, yLo, yHi int64) (lo, hi int) {
+	p := grid.Rule.Pitch()
+	f := grid.Rule.Feature
+	// Smallest r with SiteY(r) >= yLo.
+	lo64 := ceilDiv(yLo-grid.Die.Y1, p)
+	// Smallest r with SiteY(r)+f > yHi, i.e. r*p > yHi - Y1 - f.
+	hi64 := floorDiv(yHi-grid.Die.Y1-f, p) + 1
+	lo = clamp(lo64, grid.Rows)
+	hi = clamp(hi64, grid.Rows)
+	if lo > hi {
+		lo = hi
+	}
+	return lo, hi
+}
+
+func ceilDiv(a, b int64) int64 {
+	q := a / b
+	if a%b != 0 && (a > 0) == (b > 0) {
+		q++
+	}
+	return q
+}
+
+func floorDiv(a, b int64) int64 {
+	q := a / b
+	if a%b != 0 && (a < 0) != (b < 0) {
+		q--
+	}
+	return q
+}
+
+func clamp(v int64, n int) int {
+	if v < 0 {
+		return 0
+	}
+	if v > int64(n) {
+		return n
+	}
+	return int(v)
+}
+
+// Extract computes the slack columns of every tile under the chosen
+// definition. The returned slice is indexed [i][j] like the dissection's
+// tiles. Capacity counts only sites that are free in occ and fully inside
+// both the gap and the tile.
+func Extract(l *layout.Layout, layer int, d *layout.Dissection, occ *layout.Occupancy, def Def) ([][]TileColumns, error) {
+	if def != DefI && def != DefII && def != DefIII {
+		return nil, fmt.Errorf("scanline: unknown definition %d", int(def))
+	}
+	grid := occ.Grid
+	out := make([][]TileColumns, d.NX)
+	for i := range out {
+		out[i] = make([]TileColumns, d.NY)
+		for j := range out[i] {
+			out[i][j] = TileColumns{I: i, J: j, Rect: d.TileRect(i, j)}
+		}
+	}
+	lines := l.HLines(layer)
+
+	appendGap := func(tc *TileColumns, g gap, lines []layout.HLine) {
+		// Clip the gap to the tile vertically; capacity comes from sites
+		// fully inside the clipped interval.
+		yLo, yHi := g.yLo, g.yHi
+		if yLo < tc.Rect.Y1 {
+			yLo = tc.Rect.Y1
+		}
+		if yHi > tc.Rect.Y2 {
+			yHi = tc.Rect.Y2
+		}
+		if yLo >= yHi {
+			return
+		}
+		rLo, rHi := fullRows(grid, yLo, yHi)
+		if rLo >= rHi {
+			return
+		}
+		capacity := occ.FreeInColumn(g.col, rLo, rHi)
+		if capacity == 0 {
+			return
+		}
+		col := Column{
+			Col:      g.col,
+			X:        grid.SiteCenterX(g.col),
+			YLo:      g.yLo,
+			YHi:      g.yHi,
+			Capacity: capacity,
+			RowLo:    rLo,
+			RowHi:    rHi,
+		}
+		if g.lowIdx >= 0 {
+			col.HasLow = true
+			col.Low = lines[g.lowIdx].Ref
+		}
+		if g.highIdx >= 0 {
+			col.HasHigh = true
+			col.High = lines[g.highIdx].Ref
+		}
+		tc.Cols = append(tc.Cols, col)
+	}
+
+	switch def {
+	case DefIII:
+		gaps := sweep(lines, grid, d.Die)
+		for _, g := range gaps {
+			// A gap's sites live in one tile column (the tile containing the
+			// site centers) but the gap may span several tiles vertically;
+			// clip it into each.
+			xc := grid.SiteX(g.col) + grid.Rule.Feature/2
+			iTile, _ := d.TileIndex(xc, d.Die.Y1)
+			_, j1 := d.TileIndex(d.Die.X1, clampY(g.yLo, d.Die))
+			_, j2 := d.TileIndex(d.Die.X1, clampY(g.yHi-1, d.Die))
+			for j := j1; j <= j2; j++ {
+				appendGap(&out[iTile][j], g, lines)
+			}
+		}
+	case DefI, DefII:
+		// Bucket lines per tile column/row span, then sweep each tile with
+		// only its own lines.
+		type refList []int
+		buckets := make([][]refList, d.NX)
+		for i := range buckets {
+			buckets[i] = make([]refList, d.NY)
+		}
+		for li, ln := range lines {
+			r := geom.Rect{X1: ln.X1, Y1: ln.YBot, X2: ln.X2, Y2: ln.YTop}.Intersect(d.Die)
+			if r.Empty() {
+				continue
+			}
+			i1, j1 := d.TileIndex(r.X1, r.Y1)
+			i2, j2 := d.TileIndex(r.X2-1, r.Y2-1)
+			for i := i1; i <= i2; i++ {
+				for j := j1; j <= j2; j++ {
+					buckets[i][j] = append(buckets[i][j], li)
+				}
+			}
+		}
+		for i := 0; i < d.NX; i++ {
+			for j := 0; j < d.NY; j++ {
+				tileRect := out[i][j].Rect
+				tileLines := make([]layout.HLine, 0, len(buckets[i][j]))
+				for _, li := range buckets[i][j] {
+					tileLines = append(tileLines, lines[li])
+				}
+				gaps := sweep(tileLines, grid, tileRect)
+				for _, g := range gaps {
+					if def == DefI && (g.lowIdx < 0 || g.highIdx < 0) {
+						continue // boundary-bounded slack is unusable in Def I
+					}
+					appendGap(&out[i][j], g, tileLines)
+				}
+			}
+		}
+	}
+	return out, nil
+}
+
+// clampY restricts y into the die's vertical extent (half-open).
+func clampY(y int64, die geom.Rect) int64 {
+	if y < die.Y1 {
+		return die.Y1
+	}
+	if y >= die.Y2 {
+		return die.Y2 - 1
+	}
+	return y
+}
+
+// Stats summarizes an extraction: total columns, total capacity, and how
+// much capacity is attributed to at least one active line (the figure 4–6
+// analog metric).
+type Stats struct {
+	Def        Def
+	Columns    int
+	Capacity   int
+	Attributed int // capacity in columns with >= 1 bounding active line
+	PairBound  int // capacity in columns with both bounds active lines
+}
+
+// Summarize computes extraction statistics over all tiles.
+func Summarize(def Def, tiles [][]TileColumns) Stats {
+	s := Stats{Def: def}
+	for i := range tiles {
+		for j := range tiles[i] {
+			for k := range tiles[i][j].Cols {
+				c := &tiles[i][j].Cols[k]
+				s.Columns++
+				s.Capacity += c.Capacity
+				if c.HasLow || c.HasHigh {
+					s.Attributed += c.Capacity
+				}
+				if c.HasLow && c.HasHigh {
+					s.PairBound += c.Capacity
+				}
+			}
+		}
+	}
+	return s
+}

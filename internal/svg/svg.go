@@ -1,0 +1,101 @@
+// Package svg renders layouts and fill placements as standalone SVG images
+// for inspection and documentation: wires per layer in distinct colors,
+// fill features in a contrasting tone, and an optional tile grid overlay.
+package svg
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+
+	"pilfill/internal/geom"
+	"pilfill/internal/layout"
+)
+
+// Options controls the rendering.
+type Options struct {
+	// WidthPx is the output image width in pixels (height follows the die's
+	// aspect ratio). 0 means 800.
+	WidthPx int
+	// ShowTiles overlays the dissection's tile grid when non-nil.
+	ShowTiles *layout.Dissection
+	// LayerColors maps layer index to a CSS color; missing layers cycle
+	// through a default palette.
+	LayerColors map[int]string
+	// FillColor renders fill features; empty means "#e0b040".
+	FillColor string
+}
+
+var defaultPalette = []string{"#3b6fb6", "#b63b3b", "#3bb66f", "#8a3bb6", "#b6973b"}
+
+func (o *Options) layerColor(layer int) string {
+	if c, ok := o.LayerColors[layer]; ok {
+		return c
+	}
+	return defaultPalette[layer%len(defaultPalette)]
+}
+
+// Write renders the layout (and optional fill) as an SVG document.
+func Write(w io.Writer, l *layout.Layout, fill *layout.FillSet, opts Options) error {
+	if l.Die.Empty() {
+		return fmt.Errorf("svg: empty die")
+	}
+	if opts.WidthPx <= 0 {
+		opts.WidthPx = 800
+	}
+	if opts.FillColor == "" {
+		opts.FillColor = "#e0b040"
+	}
+	scale := float64(opts.WidthPx) / float64(l.Die.Width())
+	heightPx := int(float64(l.Die.Height()) * scale)
+
+	bw := bufio.NewWriter(w)
+	fmt.Fprintf(bw, `<svg xmlns="http://www.w3.org/2000/svg" width="%d" height="%d" viewBox="0 0 %d %d">`+"\n",
+		opts.WidthPx, heightPx, opts.WidthPx, heightPx)
+	fmt.Fprintf(bw, `<rect width="%d" height="%d" fill="#101418"/>`+"\n", opts.WidthPx, heightPx)
+
+	// SVG's y axis points down; layout's points up. Flip via the die height.
+	emit := func(r geom.Rect, color string, opacity float64) {
+		x := float64(r.X1-l.Die.X1) * scale
+		y := float64(l.Die.Y2-r.Y2) * scale
+		fmt.Fprintf(bw, `<rect x="%.2f" y="%.2f" width="%.2f" height="%.2f" fill="%s" fill-opacity="%.2f"/>`+"\n",
+			x, y, float64(r.Width())*scale, float64(r.Height())*scale, color, opacity)
+	}
+
+	for li := range l.Layers {
+		fmt.Fprintf(bw, `<g id="layer-%s">`+"\n", l.Layers[li].Name)
+		for _, n := range l.Nets {
+			for _, s := range n.Segments {
+				if s.Layer == li {
+					emit(s.Rect(), opts.layerColor(li), 0.9)
+				}
+			}
+		}
+		fmt.Fprintln(bw, `</g>`)
+	}
+
+	if fill != nil && len(fill.Fills) > 0 {
+		fmt.Fprintln(bw, `<g id="fill">`)
+		for _, f := range fill.Fills {
+			emit(fill.Grid.SiteRect(f.Col, f.Row), opts.FillColor, 0.8)
+		}
+		fmt.Fprintln(bw, `</g>`)
+	}
+
+	if d := opts.ShowTiles; d != nil {
+		fmt.Fprintln(bw, `<g id="tiles" stroke="#ffffff" stroke-opacity="0.25" fill="none">`)
+		for i := 0; i < d.NX; i++ {
+			for j := 0; j < d.NY; j++ {
+				r := d.TileRect(i, j)
+				x := float64(r.X1-l.Die.X1) * scale
+				y := float64(l.Die.Y2-r.Y2) * scale
+				fmt.Fprintf(bw, `<rect x="%.2f" y="%.2f" width="%.2f" height="%.2f"/>`+"\n",
+					x, y, float64(r.Width())*scale, float64(r.Height())*scale)
+			}
+		}
+		fmt.Fprintln(bw, `</g>`)
+	}
+
+	fmt.Fprintln(bw, `</svg>`)
+	return bw.Flush()
+}

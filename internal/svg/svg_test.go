@@ -1,0 +1,123 @@
+package svg
+
+import (
+	"bytes"
+	"encoding/xml"
+	"strings"
+	"testing"
+
+	"pilfill/internal/geom"
+	"pilfill/internal/layout"
+)
+
+func testLayout() *layout.Layout {
+	return &layout.Layout{
+		Name: "svg",
+		Die:  geom.Rect{X1: 0, Y1: 0, X2: 20000, Y2: 10000},
+		Layers: []layout.Layer{
+			{Name: "m3", Dir: layout.Horizontal, Width: 200},
+			{Name: "m4", Dir: layout.Vertical, Width: 200},
+		},
+		Nets: []*layout.Net{{
+			Name:   "n",
+			Source: layout.Pin{P: geom.Point{X: 1000, Y: 5000}},
+			Sinks:  []layout.Pin{{P: geom.Point{X: 18000, Y: 5000}}},
+			Segments: []layout.Segment{
+				{Layer: 0, A: geom.Point{X: 1000, Y: 5000}, B: geom.Point{X: 18000, Y: 5000}, Width: 200},
+				{Layer: 1, A: geom.Point{X: 9000, Y: 2000}, B: geom.Point{X: 9000, Y: 5000}, Width: 200},
+			},
+		}},
+	}
+}
+
+// countRects parses the SVG as XML and counts rect elements, proving the
+// output is well formed.
+func countRects(t *testing.T, data []byte) int {
+	t.Helper()
+	dec := xml.NewDecoder(bytes.NewReader(data))
+	count := 0
+	for {
+		tok, err := dec.Token()
+		if tok == nil {
+			break
+		}
+		if err != nil {
+			t.Fatalf("invalid XML: %v", err)
+		}
+		if se, ok := tok.(xml.StartElement); ok && se.Name.Local == "rect" {
+			count++
+		}
+	}
+	return count
+}
+
+func TestWriteBareLayout(t *testing.T) {
+	var buf bytes.Buffer
+	if err := Write(&buf, testLayout(), nil, Options{}); err != nil {
+		t.Fatal(err)
+	}
+	// Background + 2 wires.
+	if got := countRects(t, buf.Bytes()); got != 3 {
+		t.Errorf("rects = %d, want 3", got)
+	}
+	if !strings.Contains(buf.String(), `id="layer-m3"`) {
+		t.Error("missing layer group")
+	}
+}
+
+func TestWriteWithFillAndTiles(t *testing.T) {
+	l := testLayout()
+	grid, err := layout.NewSiteGrid(l.Die, layout.FillRule{Feature: 400, Gap: 400, Buffer: 200})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fs := &layout.FillSet{Grid: grid, Layer: 0, Fills: []layout.Fill{{Col: 1, Row: 1}, {Col: 3, Row: 4}}}
+	d, err := layout.NewDissection(l.Die, 5000, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := Write(&buf, l, fs, Options{ShowTiles: d, WidthPx: 400}); err != nil {
+		t.Fatal(err)
+	}
+	// Background + 2 wires + 2 fills + 8x4 tiles.
+	want := 1 + 2 + 2 + d.NX*d.NY
+	if got := countRects(t, buf.Bytes()); got != want {
+		t.Errorf("rects = %d, want %d", got, want)
+	}
+	if !strings.Contains(buf.String(), `id="fill"`) || !strings.Contains(buf.String(), `id="tiles"`) {
+		t.Error("missing fill/tiles groups")
+	}
+}
+
+func TestAspectRatioPreserved(t *testing.T) {
+	var buf bytes.Buffer
+	if err := Write(&buf, testLayout(), nil, Options{WidthPx: 1000}); err != nil {
+		t.Fatal(err)
+	}
+	// 20000 x 10000 die at width 1000 -> height 500.
+	if !strings.Contains(buf.String(), `width="1000" height="500"`) {
+		t.Errorf("aspect not preserved: %s", buf.String()[:120])
+	}
+}
+
+func TestCustomColors(t *testing.T) {
+	var buf bytes.Buffer
+	err := Write(&buf, testLayout(), nil, Options{
+		LayerColors: map[int]string{0: "#123456"},
+		FillColor:   "#abcdef",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "#123456") {
+		t.Error("custom layer color not used")
+	}
+}
+
+func TestEmptyDieRejected(t *testing.T) {
+	l := &layout.Layout{Name: "e"}
+	if err := Write(&bytes.Buffer{}, l, nil, Options{}); err == nil {
+		t.Error("empty die accepted")
+	}
+}

@@ -1,0 +1,219 @@
+// Package testcases generates the synthetic routed layouts that stand in
+// for the paper's two industry LEF/DEF designs (T1 and T2). The generators
+// are deterministic given a seed and reproduce the papers' qualitative
+// contrast:
+//
+//   - T1 is a small, densely routed die with many short multi-sink nets —
+//     it yields many constrained per-tile instances (long ILP runtimes,
+//     modest absolute delay impact).
+//   - T2 is a larger, sparser die with fewer but much longer nets — fill
+//     lands at higher upstream resistances, so absolute delay impact is
+//     larger while the per-tile instances stay easy.
+//
+// The PIL-Fill pipeline consumes only geometric and electrical abstractions
+// (line segments, per-unit resistance, entry resistance, sink counts, slack
+// sites), so any layout with realistic density and net-length distributions
+// exercises the identical code paths; see DESIGN.md for the substitution
+// rationale.
+package testcases
+
+import (
+	"fmt"
+	"math/rand"
+
+	"pilfill/internal/geom"
+	"pilfill/internal/layout"
+	"pilfill/internal/route"
+)
+
+// Spec parameterizes a synthetic layout.
+type Spec struct {
+	Name       string
+	DieSide    int64 // square die side, nm
+	NumNets    int
+	SinksMin   int
+	SinksMax   int
+	TrunkMin   int64 // trunk length range, nm
+	TrunkMax   int64
+	BranchMax  int64 // max vertical branch extent, nm
+	Width      int64 // wire width, nm
+	Seed       int64
+	Rule       layout.FillRule
+	LanePitch  int64 // vertical spacing quantum for trunk lanes, nm
+	EdgeMargin int64 // keep-out from the die edge, nm
+}
+
+// T1 returns the dense small-die testcase specification.
+func T1() Spec {
+	return Spec{
+		Name:       "T1",
+		DieSide:    192000, // 192 um
+		NumNets:    140,
+		SinksMin:   1,
+		SinksMax:   4,
+		TrunkMin:   40000,
+		TrunkMax:   150000,
+		BranchMax:  20000,
+		Width:      200,
+		Seed:       1001,
+		Rule:       layout.FillRule{Feature: 600, Gap: 200, Buffer: 100},
+		LanePitch:  1200,
+		EdgeMargin: 1000,
+	}
+}
+
+// T2 returns the sparse large-die testcase specification.
+func T2() Spec {
+	return Spec{
+		Name:       "T2",
+		DieSide:    256000, // 256 um
+		NumNets:    70,
+		SinksMin:   1,
+		SinksMax:   3,
+		TrunkMin:   120000,
+		TrunkMax:   240000,
+		BranchMax:  40000,
+		Width:      250,
+		Seed:       2002,
+		Rule:       layout.FillRule{Feature: 600, Gap: 200, Buffer: 100},
+		LanePitch:  2400,
+		EdgeMargin: 1000,
+	}
+}
+
+// T3 returns a large stress-test specification (not part of the paper's
+// grid): a 512 um die with 400 nets, used by the scale tests and available
+// to cmd/layoutgen.
+func T3() Spec {
+	return Spec{
+		Name:       "T3",
+		DieSide:    512000,
+		NumNets:    400,
+		SinksMin:   1,
+		SinksMax:   5,
+		TrunkMin:   100000,
+		TrunkMax:   400000,
+		BranchMax:  60000,
+		Width:      200,
+		Seed:       3003,
+		Rule:       layout.FillRule{Feature: 600, Gap: 200, Buffer: 100},
+		LanePitch:  1200,
+		EdgeMargin: 1000,
+	}
+}
+
+// Generate builds a routed layout from the spec. The result is guaranteed
+// to pass layout.Validate and rc analysis for every net: trunks occupy
+// distinct horizontal lanes (no shorts on the fill layer) and branch columns
+// are globally unique.
+func Generate(spec Spec) (*layout.Layout, error) {
+	if spec.NumNets <= 0 || spec.DieSide <= 0 {
+		return nil, fmt.Errorf("testcases: bad spec %+v", spec)
+	}
+	rng := rand.New(rand.NewSource(spec.Seed))
+	die := geom.Rect{X1: 0, Y1: 0, X2: spec.DieSide, Y2: spec.DieSide}
+	l := &layout.Layout{
+		Name: spec.Name,
+		Die:  die,
+		Layers: []layout.Layer{
+			{Name: "m3", Dir: layout.Horizontal, Width: spec.Width},
+			{Name: "m4", Dir: layout.Vertical, Width: spec.Width},
+		},
+	}
+
+	margin := spec.EdgeMargin + spec.Width // drawn geometry stays inside
+	usable := spec.DieSide - 2*margin
+	if usable <= spec.TrunkMin {
+		return nil, fmt.Errorf("testcases: die %d too small for trunks of %d", spec.DieSide, spec.TrunkMin)
+	}
+
+	// Distinct trunk lanes. Lanes are LanePitch apart; shuffle and assign.
+	laneCount := int(usable / spec.LanePitch)
+	if laneCount < spec.NumNets {
+		return nil, fmt.Errorf("testcases: only %d lanes for %d nets; increase die or decrease LanePitch", laneCount, spec.NumNets)
+	}
+	lanes := rng.Perm(laneCount)[:spec.NumNets]
+
+	// Globally unique branch columns, quantized to the wire pitch.
+	colQuantum := 3 * spec.Width
+	usedCols := map[int64]bool{}
+	pickCol := func(xLo, xHi int64) (int64, bool) {
+		if xHi <= xLo {
+			return 0, false
+		}
+		span := (xHi - xLo) / colQuantum
+		if span <= 0 {
+			return 0, false
+		}
+		for try := 0; try < 30; try++ {
+			x := xLo + rng.Int63n(span)*colQuantum
+			if !usedCols[x] {
+				usedCols[x] = true
+				return x, true
+			}
+		}
+		return 0, false
+	}
+
+	for ni := 0; ni < spec.NumNets; ni++ {
+		trunkY := margin + int64(lanes[ni])*spec.LanePitch
+		trunkLen := spec.TrunkMin + rng.Int63n(spec.TrunkMax-spec.TrunkMin+1)
+		if trunkLen > usable {
+			trunkLen = usable
+		}
+		x0 := margin + rng.Int63n(usable-trunkLen+1)
+		x1 := x0 + trunkLen
+
+		src := layout.Pin{P: geom.Point{X: x0, Y: trunkY}}
+		nSinks := spec.SinksMin + rng.Intn(spec.SinksMax-spec.SinksMin+1)
+		var sinks []layout.Pin
+		// One sink anchors the far trunk end; the rest branch off.
+		sinks = append(sinks, layout.Pin{P: geom.Point{X: x1, Y: trunkY}})
+		for s := 1; s < nSinks; s++ {
+			bx, ok := pickCol(x0+colQuantum, x1-colQuantum)
+			if !ok {
+				continue
+			}
+			ext := spec.Width * 4
+			if spec.BranchMax > ext {
+				ext += rng.Int63n(spec.BranchMax - ext + 1)
+			}
+			by := trunkY + ext
+			if rng.Intn(2) == 0 {
+				by = trunkY - ext
+			}
+			if by < margin {
+				by = margin
+			}
+			if by > spec.DieSide-margin {
+				by = spec.DieSide - margin
+			}
+			if by == trunkY {
+				continue
+			}
+			sinks = append(sinks, layout.Pin{P: geom.Point{X: bx, Y: by}})
+		}
+		segs, err := route.Trunk(src, sinks, 0, 1, spec.Width)
+		if err != nil {
+			return nil, fmt.Errorf("testcases: net %d: %w", ni, err)
+		}
+		l.Nets = append(l.Nets, &layout.Net{
+			Name:     fmt.Sprintf("net%03d", ni),
+			Source:   src,
+			Sinks:    sinks,
+			Segments: segs,
+		})
+	}
+	if err := l.Validate(); err != nil {
+		return nil, fmt.Errorf("testcases: generated layout invalid: %w", err)
+	}
+	return l, nil
+}
+
+// WindowNM converts the paper's table notation W in {32, 20} to a window
+// size in nanometers. One W unit is 1.6 um, so W=32 gives a 51.2 um window
+// and W=20 a 32 um window; both divide evenly by r in {2, 4, 8}, and every
+// resulting tile size is a multiple of the testcases' 800 nm site pitch so
+// fill features never straddle tile boundaries (keeping density control
+// exactly identical across placement methods).
+func WindowNM(w int) int64 { return int64(w) * 1600 }

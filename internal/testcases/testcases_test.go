@@ -1,0 +1,155 @@
+package testcases
+
+import (
+	"testing"
+
+	"pilfill/internal/cap"
+	"pilfill/internal/layout"
+	"pilfill/internal/rc"
+)
+
+func TestGenerateT1T2Valid(t *testing.T) {
+	for _, spec := range []Spec{T1(), T2()} {
+		l, err := Generate(spec)
+		if err != nil {
+			t.Fatalf("%s: %v", spec.Name, err)
+		}
+		if len(l.Nets) != spec.NumNets {
+			t.Errorf("%s: %d nets, want %d", spec.Name, len(l.Nets), spec.NumNets)
+		}
+		for _, n := range l.Nets {
+			if _, err := rc.Analyze(n, cap.Default130); err != nil {
+				t.Fatalf("%s net %s: %v", spec.Name, n.Name, err)
+			}
+		}
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	a, err := Generate(T1())
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Generate(T1())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a.Nets) != len(b.Nets) {
+		t.Fatal("net counts differ")
+	}
+	for i := range a.Nets {
+		if len(a.Nets[i].Segments) != len(b.Nets[i].Segments) {
+			t.Fatalf("net %d: segment counts differ", i)
+		}
+		for j := range a.Nets[i].Segments {
+			if a.Nets[i].Segments[j] != b.Nets[i].Segments[j] {
+				t.Fatalf("net %d seg %d differ", i, j)
+			}
+		}
+	}
+}
+
+func TestNoTrunkShortsOnFillLayer(t *testing.T) {
+	for _, spec := range []Spec{T1(), T2()} {
+		l, err := Generate(spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// No two horizontal segments from different nets may overlap.
+		type seg struct {
+			net int
+			r   [4]int64
+		}
+		var hsegs []seg
+		for ni, n := range l.Nets {
+			for _, s := range n.Segments {
+				if s.Layer == 0 && s.Horizontal() {
+					r := s.Rect()
+					hsegs = append(hsegs, seg{ni, [4]int64{r.X1, r.Y1, r.X2, r.Y2}})
+				}
+			}
+		}
+		for i := 0; i < len(hsegs); i++ {
+			for j := i + 1; j < len(hsegs); j++ {
+				if hsegs[i].net == hsegs[j].net {
+					continue
+				}
+				a, b := hsegs[i].r, hsegs[j].r
+				if a[0] < b[2] && b[0] < a[2] && a[1] < b[3] && b[1] < a[3] {
+					t.Fatalf("%s: nets %d and %d short on the fill layer", spec.Name, hsegs[i].net, hsegs[j].net)
+				}
+			}
+		}
+	}
+}
+
+func TestT2SparserAndLonger(t *testing.T) {
+	t1, err := Generate(T1())
+	if err != nil {
+		t.Fatal(err)
+	}
+	t2, err := Generate(T2())
+	if err != nil {
+		t.Fatal(err)
+	}
+	avgTrunk := func(l *layout.Layout) float64 {
+		var total int64
+		var count int
+		for _, n := range l.Nets {
+			for _, s := range n.Segments {
+				if s.Layer == 0 && s.Horizontal() {
+					total += s.Length()
+					count++
+				}
+			}
+		}
+		return float64(total) / float64(count)
+	}
+	if avgTrunk(t2) <= avgTrunk(t1) {
+		t.Errorf("T2 avg trunk %g should exceed T1's %g", avgTrunk(t2), avgTrunk(t1))
+	}
+	density := func(l *layout.Layout) float64 {
+		var area int64
+		for _, n := range l.Nets {
+			for _, s := range n.Segments {
+				if s.Layer == 0 {
+					area += s.Rect().Area()
+				}
+			}
+		}
+		return float64(area) / float64(l.Die.Area())
+	}
+	if density(t2) >= density(t1) {
+		t.Errorf("T2 density %g should be below T1's %g", density(t2), density(t1))
+	}
+}
+
+func TestWindowNM(t *testing.T) {
+	for _, w := range []int{32, 20} {
+		nm := WindowNM(w)
+		for _, r := range []int{2, 4, 8} {
+			if nm%int64(r) != 0 {
+				t.Errorf("window %d nm not divisible by r=%d", nm, r)
+			}
+		}
+	}
+	if WindowNM(32) != 51200 {
+		t.Errorf("WindowNM(32) = %d", WindowNM(32))
+	}
+}
+
+func TestGenerateErrors(t *testing.T) {
+	if _, err := Generate(Spec{}); err == nil {
+		t.Error("zero spec accepted")
+	}
+	bad := T1()
+	bad.NumNets = 100000 // more nets than lanes
+	if _, err := Generate(bad); err == nil {
+		t.Error("lane overflow accepted")
+	}
+	tiny := T1()
+	tiny.DieSide = 10000
+	if _, err := Generate(tiny); err == nil {
+		t.Error("tiny die accepted")
+	}
+}

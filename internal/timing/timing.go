@@ -1,0 +1,173 @@
+// Package timing turns a fill placement into a signoff-style timing report:
+// for every net, the baseline Elmore delay of its slowest sink, the delay
+// added by the fill (recomputed from the placed features, independently of
+// the optimizer's bookkeeping), and the relative degradation. This is the
+// artifact a timing-closure flow would consume to accept or reject a fill
+// result — the integration point the paper's Section 7 sketches.
+package timing
+
+import (
+	"fmt"
+	"io"
+	"sort"
+
+	"pilfill/internal/cap"
+	"pilfill/internal/geom"
+	"pilfill/internal/layout"
+	"pilfill/internal/rc"
+)
+
+// NetReport is one net's timing view.
+type NetReport struct {
+	Net           string
+	Sinks         int
+	BaselineWorst float64 // slowest baseline Elmore sink delay, seconds
+	Added         float64 // fill-induced delay on the net's wiring, seconds
+	RelativePct   float64 // Added / BaselineWorst * 100 (0 when baseline is 0)
+}
+
+// Report is the full-layout timing summary.
+type Report struct {
+	Nets       []NetReport
+	TotalAdded float64
+	WorstNet   int // index into Nets of the largest Added (-1 if none)
+}
+
+// Analyze recomputes the fill's delay impact from first principles: for each
+// fill feature it finds the nearest active lines above and below in its site
+// column, groups contiguous features between the same line pair into
+// columns, and applies the exact capacitance model — the same physics the
+// engine uses, but derived from the placed geometry rather than the solver's
+// internal assignment. rule must be the fill rule the features were placed
+// under. The checker assumes floating fill (the paper's model); grounded
+// placements need the cap.DeltaGrounded model instead.
+func Analyze(l *layout.Layout, fs *layout.FillSet, rule layout.FillRule, proc cap.Process) (*Report, error) {
+	analyses := make([]*rc.Analysis, len(l.Nets))
+	for i, n := range l.Nets {
+		a, err := rc.Analyze(n, proc)
+		if err != nil {
+			return nil, fmt.Errorf("timing: net %q: %w", n.Name, err)
+		}
+		analyses[i] = a
+	}
+	lines := l.HLines(fs.Layer)
+	grid := fs.Grid
+
+	// Per column of the site grid, the fill rows placed there, sorted.
+	byCol := map[int][]int{}
+	for _, f := range fs.Fills {
+		byCol[f.Col] = append(byCol[f.Col], f.Row)
+	}
+
+	added := make([]float64, len(l.Nets))
+	for c, rows := range byCol {
+		sort.Ints(rows)
+		fx1 := grid.SiteX(c)
+		fx2 := fx1 + rule.Feature
+		xc := fx1 + rule.Feature/2
+		// Active lines overlapping this column's x-extent, by y.
+		var overlapping []layout.HLine
+		for _, ln := range lines {
+			if geom.Overlap(ln.X1, ln.X2, fx1, fx2) > 0 {
+				overlapping = append(overlapping, ln)
+			}
+		}
+		// Group the rows into runs bounded by the same line pair.
+		i := 0
+		for i < len(rows) {
+			y1 := grid.SiteY(rows[i])
+			low, high, okLow, okHigh := bounding(overlapping, y1)
+			// Extend the run while subsequent features share the same gap.
+			j := i + 1
+			for j < len(rows) {
+				yj := grid.SiteY(rows[j])
+				l2, h2, ok2l, ok2h := bounding(overlapping, yj)
+				if ok2l != okLow || ok2h != okHigh || l2 != low || h2 != high {
+					break
+				}
+				j++
+			}
+			m := j - i
+			if okLow && okHigh {
+				d := overlapping[high].YBot - overlapping[low].YTop
+				if d > 0 {
+					tbl := proc.BuildTable(rule.Feature, d, m)
+					dc := tbl.Delta(m)
+					refLow := overlapping[low].Ref
+					refHigh := overlapping[high].Ref
+					rL, _ := analyses[refLow.Net].At(refLow.Seg, xc)
+					rH, _ := analyses[refHigh.Net].At(refHigh.Seg, xc)
+					added[refLow.Net] += dc * rL
+					added[refHigh.Net] += dc * rH
+				}
+			}
+			i = j
+		}
+	}
+
+	rep := &Report{WorstNet: -1}
+	worst := 0.0
+	for i, n := range l.Nets {
+		base := 0.0
+		for _, d := range analyses[i].SinkDelays {
+			if d > base {
+				base = d
+			}
+		}
+		nr := NetReport{
+			Net:           n.Name,
+			Sinks:         len(n.Sinks),
+			BaselineWorst: base,
+			Added:         added[i],
+		}
+		if base > 0 {
+			nr.RelativePct = added[i] / base * 100
+		}
+		rep.Nets = append(rep.Nets, nr)
+		rep.TotalAdded += added[i]
+		if added[i] > worst {
+			worst = added[i]
+			rep.WorstNet = i
+		}
+	}
+	return rep, nil
+}
+
+// bounding finds the indices of the nearest lines below and above a feature
+// bottom edge y (the line whose top is <= y and whose bottom is >= y+...).
+// It assumes the feature does not overlap any line (DRC guarantees this).
+func bounding(lines []layout.HLine, y int64) (low, high int, okLow, okHigh bool) {
+	bestLow, bestHigh := int64(-1), int64(-1)
+	for i, ln := range lines {
+		if ln.YTop <= y {
+			if !okLow || ln.YTop > bestLow {
+				low, bestLow, okLow = i, ln.YTop, true
+			}
+		}
+		if ln.YBot > y {
+			if !okHigh || ln.YBot < bestHigh {
+				high, bestHigh, okHigh = i, ln.YBot, true
+			}
+		}
+	}
+	return low, high, okLow, okHigh
+}
+
+// WriteText renders the report, worst nets first, up to maxNets rows.
+func (r *Report) WriteText(w io.Writer, maxNets int) {
+	idx := make([]int, len(r.Nets))
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.Slice(idx, func(a, b int) bool { return r.Nets[idx[a]].Added > r.Nets[idx[b]].Added })
+	if maxNets <= 0 || maxNets > len(idx) {
+		maxNets = len(idx)
+	}
+	fmt.Fprintf(w, "%-12s %6s %14s %14s %8s\n", "net", "sinks", "baseline (ps)", "added (fs)", "delta%")
+	for _, i := range idx[:maxNets] {
+		n := r.Nets[i]
+		fmt.Fprintf(w, "%-12s %6d %14.4f %14.4f %7.3f%%\n",
+			n.Net, n.Sinks, n.BaselineWorst*1e12, n.Added*1e15, n.RelativePct)
+	}
+	fmt.Fprintf(w, "total added: %.4f fs over %d nets\n", r.TotalAdded*1e15, len(r.Nets))
+}

@@ -1,0 +1,179 @@
+package timing
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+
+	"pilfill/internal/cap"
+	"pilfill/internal/geom"
+	"pilfill/internal/layout"
+)
+
+var (
+	rule = layout.FillRule{Feature: 300, Gap: 100, Buffer: 150}
+	proc = cap.Default130
+)
+
+// pairLayout: two parallel wires with a known gap.
+func pairLayout() *layout.Layout {
+	mk := func(name string, y int64) *layout.Net {
+		return &layout.Net{
+			Name:   name,
+			Source: layout.Pin{P: geom.Point{X: 1000, Y: y}},
+			Sinks:  []layout.Pin{{P: geom.Point{X: 15000, Y: y}}},
+			Segments: []layout.Segment{{
+				Layer: 0,
+				A:     geom.Point{X: 1000, Y: y},
+				B:     geom.Point{X: 15000, Y: y},
+				Width: 200,
+			}},
+		}
+	}
+	return &layout.Layout{
+		Name:   "pair",
+		Die:    geom.Rect{X1: 0, Y1: 0, X2: 16000, Y2: 16000},
+		Layers: []layout.Layer{{Name: "m3", Dir: layout.Horizontal, Width: 200}},
+		Nets:   []*layout.Net{mk("a", 6000), mk("b", 9000)},
+	}
+}
+
+func TestAnalyzeHandComputed(t *testing.T) {
+	l := pairLayout()
+	grid, err := layout.NewSiteGrid(l.Die, rule)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Place two stacked features between the wires at column 10
+	// (x = 4000..4300), rows chosen inside the gap [6100, 8900].
+	rLo, rHi := grid.RowRange(6100, 8900)
+	var rows []int
+	for r := rLo; r < rHi && len(rows) < 2; r++ {
+		y := grid.SiteY(r)
+		if y >= 6100+rule.Buffer && y+rule.Feature <= 8900-rule.Buffer {
+			rows = append(rows, r)
+		}
+	}
+	if len(rows) != 2 {
+		t.Fatalf("could not find 2 rows in the gap (got %d)", len(rows))
+	}
+	fs := &layout.FillSet{Grid: grid, Layer: 0, Fills: []layout.Fill{
+		{Col: 10, Row: rows[0]}, {Col: 10, Row: rows[1]},
+	}}
+	rep, err := Analyze(l, fs, rule, proc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Hand computation: gap d = 9000-100 - (6000+100) = 2800 nm;
+	// ΔC = (f(2, d) - C_B)·w; each wire at x=4150 has R = ru·(4150-1000)
+	// from its left-end source (wire half-width offset: drawn from 900).
+	d := int64(2800)
+	dc := proc.DeltaExact(2, rule.Feature, d)
+	xc := grid.SiteCenterX(10)
+	ru := proc.ResPerLength(200)
+	r := ru * float64(xc-900) // drawn left edge at 900, source at 1000... R from source entry
+	_ = r
+	// Use the analysis R directly for exactness: both wires identical.
+	want := 0.0
+	{
+		// R at xc measured from the source at x=1000.
+		want = 2 * (dc * (ru * float64(xc-1000)))
+	}
+	got := rep.TotalAdded
+	if math.Abs(got-want) > 1e-9*want {
+		t.Fatalf("TotalAdded = %g, want %g", got, want)
+	}
+	if rep.WorstNet < 0 {
+		t.Error("no worst net")
+	}
+	if rep.Nets[0].Added <= 0 || rep.Nets[1].Added <= 0 {
+		t.Error("both nets should be loaded")
+	}
+	if rep.Nets[0].BaselineWorst <= 0 {
+		t.Error("baseline delay missing")
+	}
+	if rep.Nets[0].RelativePct <= 0 {
+		t.Error("relative percentage missing")
+	}
+}
+
+func TestAnalyzeFreeSpaceFillIsFree(t *testing.T) {
+	l := pairLayout()
+	grid, err := layout.NewSiteGrid(l.Die, rule)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Fill far below both wires: bounded by boundary and wire "a" only on
+	// one side -> no pair, no cost.
+	fs := &layout.FillSet{Grid: grid, Layer: 0, Fills: []layout.Fill{{Col: 3, Row: 2}}}
+	rep, err := Analyze(l, fs, rule, proc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.TotalAdded != 0 {
+		t.Errorf("free-space fill cost %g, want 0", rep.TotalAdded)
+	}
+}
+
+func TestAnalyzeGroupsRuns(t *testing.T) {
+	// m features in one gap must be costed as one column of m (convex),
+	// not m singletons: ΔC(m) > m·ΔC(1).
+	l := pairLayout()
+	grid, err := layout.NewSiteGrid(l.Die, rule)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inGap := func(r int) bool {
+		y := grid.SiteY(r)
+		return y >= 6100+rule.Buffer && y+rule.Feature <= 8900-rule.Buffer
+	}
+	var rows []int
+	for r := 0; r < grid.Rows; r++ {
+		if inGap(r) {
+			rows = append(rows, r)
+		}
+	}
+	if len(rows) < 3 {
+		t.Fatalf("gap holds only %d rows", len(rows))
+	}
+	single := &layout.FillSet{Grid: grid, Layer: 0, Fills: []layout.Fill{{Col: 10, Row: rows[0]}}}
+	triple := &layout.FillSet{Grid: grid, Layer: 0, Fills: []layout.Fill{
+		{Col: 10, Row: rows[0]}, {Col: 10, Row: rows[1]}, {Col: 10, Row: rows[2]},
+	}}
+	rep1, err := Analyze(l, single, rule, proc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep3, err := Analyze(l, triple, rule, proc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep3.TotalAdded <= 3*rep1.TotalAdded {
+		t.Errorf("3 stacked features %g should exceed 3x a single one %g (convexity)",
+			rep3.TotalAdded, 3*rep1.TotalAdded)
+	}
+}
+
+func TestWriteText(t *testing.T) {
+	l := pairLayout()
+	grid, err := layout.NewSiteGrid(l.Die, rule)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fs := &layout.FillSet{Grid: grid, Layer: 0}
+	rep, err := Analyze(l, fs, rule, proc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	rep.WriteText(&buf, 1)
+	out := buf.String()
+	if !strings.Contains(out, "total added") || !strings.Contains(out, "baseline") {
+		t.Errorf("report text incomplete:\n%s", out)
+	}
+	// Only 1 net row requested plus header and footer.
+	if got := strings.Count(out, "\n"); got != 3 {
+		t.Errorf("lines = %d, want 3:\n%s", got, out)
+	}
+}
