@@ -1,0 +1,24 @@
+GO ?= go
+
+.PHONY: ci fmt vet build test race bench
+
+ci: fmt vet build test race
+
+fmt:
+	@out=$$(gofmt -l .); if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; fi
+
+vet:
+	$(GO) vet ./...
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./internal/core/...
+
+bench:
+	$(GO) test -bench 'EnginePreprocess' -benchtime 10x -run '^$$' .

@@ -13,9 +13,13 @@ import (
 	"math/rand"
 	"testing"
 
+	"pilfill/internal/cap"
 	"pilfill/internal/core"
+	"pilfill/internal/density"
 	"pilfill/internal/harness"
+	"pilfill/internal/layout"
 	"pilfill/internal/scanline"
+	"pilfill/internal/testcases"
 )
 
 // benchTableRow runs one T/W/r row of a table and reports τ metrics.
@@ -259,6 +263,75 @@ func BenchmarkAblationFillStyle(b *testing.B) {
 	b.ReportMetric(floating*1e12, "floating_tau_ps")
 	b.ReportMetric(grounded*1e12, "grounded_tau_ps")
 	b.ReportMetric(grounded/floating, "grounded_penalty_x")
+}
+
+// BenchmarkEnginePreprocess measures the instance-construction phase of
+// engine preprocessing — the part that builds a capacitance lookup table per
+// attributed slack column — with and without the memoized table cache. The
+// cached variant reuses one warm cache across iterations (the
+// cross-tile/cross-session reuse the cache exists for) and reports its
+// hit/miss traffic as custom metrics.
+func BenchmarkEnginePreprocess(b *testing.B) {
+	l, err := GenerateT1()
+	if err != nil {
+		b.Fatal(err)
+	}
+	dis, err := layout.NewDissection(l.Die, testcases.WindowNM(32), 4)
+	if err != nil {
+		b.Fatal(err)
+	}
+	rule := DefaultRuleT1T2()
+	seed, err := core.NewEngine(l, dis, rule, core.Config{Seed: 1, NoTableCache: true})
+	if err != nil {
+		b.Fatal(err)
+	}
+	grid := density.NewGrid(l, dis, seed.Occ, 0)
+	budget, _, err := density.MonteCarlo(grid, density.MonteCarloOptions{
+		TargetMin:  harness.TargetMinDensity,
+		MaxDensity: harness.MaxDensity,
+		Seed:       1,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	run := func(b *testing.B, cfg core.Config) {
+		b.Helper()
+		eng, err := core.NewEngine(l, dis, rule, cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		_ = eng.Instances(budget) // warm: populates the cache (all misses)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			_ = eng.Instances(budget)
+		}
+		if s := eng.CacheStats(); s.Hits+s.Misses > 0 {
+			b.ReportMetric(float64(s.Hits)/float64(b.N), "cache_hits/op")
+			b.ReportMetric(float64(s.Misses), "cache_misses_total")
+			b.ReportMetric(100*s.HitRate(), "cache_hit_%")
+		}
+	}
+	b.Run("uncached", func(b *testing.B) { run(b, core.Config{Seed: 1, NoTableCache: true}) })
+	b.Run("cached", func(b *testing.B) { run(b, core.Config{Seed: 1, Cache: cap.NewTableCache()}) })
+
+	// T1's slack columns are shallow (small capacities), so the engine-level
+	// pair above is dominated by instance assembly; this pair isolates the
+	// cost the cache removes on a deep table (the paper's widest line pairs).
+	proc := cap.Default130
+	b.Run("table-build", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			_ = proc.BuildTable(rule.Feature, 13000, 64)
+		}
+	})
+	b.Run("table-cached", func(b *testing.B) {
+		c := cap.NewTableCache()
+		_ = c.Table(proc, rule.Feature, 13000, 64, false)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			_ = c.Table(proc, rule.Feature, 13000, 64, false)
+		}
+		b.ReportMetric(float64(c.Stats().Hits)/float64(b.N), "cache_hits/op")
+	})
 }
 
 // BenchmarkNormalBaselineVariance quantifies the Normal baseline's spread

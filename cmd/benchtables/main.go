@@ -21,6 +21,7 @@ import (
 	"strconv"
 	"strings"
 
+	"pilfill/internal/cap"
 	"pilfill/internal/harness"
 )
 
@@ -59,6 +60,10 @@ func runTable(n int, rowFilter string) {
 		}
 	}
 	harness.PrintTable(os.Stdout, title, rows)
+	if s := cap.Shared.Stats(); s.Hits+s.Misses > 0 {
+		fmt.Printf("cap-table cache: %d hits / %d misses (%.0f%% hit rate, %d tables shared across rows)\n",
+			s.Hits, s.Misses, 100*s.HitRate(), s.Entries)
+	}
 	fmt.Println()
 }
 

@@ -15,6 +15,7 @@ import (
 	"fmt"
 	"os"
 	"strings"
+	"time"
 
 	"pilfill"
 	"pilfill/internal/core"
@@ -26,6 +27,8 @@ func fail(format string, args ...any) {
 	fmt.Fprintf(os.Stderr, "pilfill: "+format+"\n", args...)
 	os.Exit(1)
 }
+
+func ms(d time.Duration) float64 { return float64(d) / 1e6 }
 
 func parseMethod(s string) (core.Method, bool) {
 	switch strings.ToLower(s) {
@@ -64,8 +67,9 @@ func main() {
 		osvg     = flag.String("osvg", "", "write the filled layout as SVG to this path")
 		verify   = flag.Bool("verify", false, "run the fill DRC on the last result")
 		timingN  = flag.Int("timing", 0, "print a timing report for the worst N nets of the last result")
-		workers  = flag.Int("workers", 0, "solve tiles concurrently with this many workers")
+		workers  = flag.Int("workers", 0, "solve tiles (and preprocess) concurrently with this many workers")
 		grounded = flag.Bool("grounded", false, "model grounded (tied) fill instead of floating fill")
+		phases   = flag.Bool("phases", false, "print the per-run phase timing breakdown (solve/evaluate/place)")
 	)
 	flag.Parse()
 
@@ -125,6 +129,13 @@ func main() {
 	}
 	fmt.Printf("layout %s: %d nets, budget %d fill features, prep %.0f ms\n",
 		l.Name, len(l.Nets), s.Budget.Total(), float64(s.PrepTime)/1e6)
+	prep := s.Engine.Prep
+	fmt.Printf("  prep phases: analyze %.1f ms, extract %.1f ms, build %.1f ms",
+		ms(prep.Analyze), ms(prep.Extract), ms(prep.Build))
+	if cs := s.CacheStats(); cs.Hits+cs.Misses > 0 {
+		fmt.Printf("; cap-table cache %d hits / %d misses (%d tables)", cs.Hits, cs.Misses, cs.Entries)
+	}
+	fmt.Println()
 
 	var methods []core.Method
 	if strings.EqualFold(*method, "all") {
@@ -144,6 +155,11 @@ func main() {
 			fail("%v: %v", m, err)
 		}
 		fmt.Print(rep.Summary())
+		if *phases {
+			ph := rep.Result.Phases
+			fmt.Printf("  phases: solve %.1f ms, evaluate %.1f ms, place %.1f ms (preprocess %.1f ms shared)\n",
+				ms(ph.Solve), ms(ph.Evaluate), ms(ph.Place), ms(ph.Preprocess))
+		}
 		last = rep
 	}
 

@@ -1,0 +1,154 @@
+package cap
+
+import (
+	"math"
+	"sync"
+	"sync/atomic"
+)
+
+// Capacitance lookup tables depend only on (process, feature width, spacing,
+// capacity, grounded). A layout has thousands of slack columns but only a
+// handful of distinct spacings, so the engine rebuilds identical tables over
+// and over; TableCache memoizes them. The cache is sharded to stay cheap
+// under the engine's concurrent preprocessing, and it exposes hit/miss
+// counters so benchmarks can verify the reuse they claim.
+
+// tableKey identifies one memoized table. Process is a small comparable
+// struct of plain fields, so it can key a map directly.
+type tableKey struct {
+	proc     Process
+	w, d     int64
+	maxM     int
+	grounded bool
+}
+
+// hash mixes the key fields FNV-1a style to pick a shard.
+func (k tableKey) hash() uint64 {
+	h := uint64(14695981039346656037)
+	mix := func(v uint64) {
+		h ^= v
+		h *= 1099511628211
+	}
+	mix(math.Float64bits(k.proc.EpsR))
+	mix(uint64(k.proc.MetalHeight))
+	mix(math.Float64bits(k.proc.SheetRes))
+	mix(math.Float64bits(k.proc.AreaCapPerSqNm))
+	mix(uint64(k.w))
+	mix(uint64(k.d))
+	mix(uint64(k.maxM))
+	if k.grounded {
+		mix(1)
+	}
+	return h
+}
+
+const cacheShards = 16
+
+// TableCache is a concurrency-safe memo of BuildTable/BuildGroundedTable
+// results. Returned tables share their Deltas backing array across callers
+// and must be treated as read-only.
+type TableCache struct {
+	shards [cacheShards]struct {
+		mu sync.RWMutex
+		m  map[tableKey]*Table
+	}
+	hits   atomic.Uint64
+	misses atomic.Uint64
+}
+
+// Shared is the process-wide cache the engine uses by default, so tables are
+// reused across columns, tiles, and sessions.
+var Shared = NewTableCache()
+
+// NewTableCache returns an empty cache.
+func NewTableCache() *TableCache {
+	c := &TableCache{}
+	for i := range c.shards {
+		c.shards[i].m = make(map[tableKey]*Table)
+	}
+	return c
+}
+
+// Table returns the memoized lookup table for the given parameters, building
+// it on first use. It is equivalent to p.BuildTable(w, d, maxM) (or
+// BuildGroundedTable when grounded), including the clamp of maxM to the
+// geometric limit — requests that clamp to the same effective maxM share one
+// entry. The result's Deltas slice is shared; callers must not modify it.
+func (c *TableCache) Table(p Process, w, d int64, maxM int, grounded bool) Table {
+	if w > 0 && d > 0 {
+		// Normalize exactly as BuildTable does so equivalent requests hit.
+		if limit := int((d - 1) / w); maxM > limit {
+			maxM = limit
+		}
+		if maxM < 0 {
+			maxM = 0
+		}
+	}
+	key := tableKey{proc: p, w: w, d: d, maxM: maxM, grounded: grounded}
+	shard := &c.shards[key.hash()%cacheShards]
+
+	shard.mu.RLock()
+	tbl := shard.m[key]
+	shard.mu.RUnlock()
+	if tbl != nil {
+		c.hits.Add(1)
+		return *tbl
+	}
+
+	// Build outside the lock (w/d validation panics propagate exactly as
+	// from BuildTable); a concurrent builder of the same key wins the write
+	// race harmlessly since both build identical tables.
+	var built Table
+	if grounded {
+		built = p.BuildGroundedTable(w, d, maxM)
+	} else {
+		built = p.BuildTable(w, d, maxM)
+	}
+	shard.mu.Lock()
+	if existing := shard.m[key]; existing != nil {
+		built = *existing
+	} else {
+		shard.m[key] = &built
+	}
+	shard.mu.Unlock()
+	c.misses.Add(1)
+	return built
+}
+
+// CacheStats is a point-in-time snapshot of a TableCache.
+type CacheStats struct {
+	Hits    uint64
+	Misses  uint64
+	Entries int
+}
+
+// HitRate returns hits/(hits+misses), or 0 before any lookup.
+func (s CacheStats) HitRate() float64 {
+	total := s.Hits + s.Misses
+	if total == 0 {
+		return 0
+	}
+	return float64(s.Hits) / float64(total)
+}
+
+// Stats snapshots the hit/miss counters and entry count.
+func (c *TableCache) Stats() CacheStats {
+	s := CacheStats{Hits: c.hits.Load(), Misses: c.misses.Load()}
+	for i := range c.shards {
+		c.shards[i].mu.RLock()
+		s.Entries += len(c.shards[i].m)
+		c.shards[i].mu.RUnlock()
+	}
+	return s
+}
+
+// Reset drops every entry and zeroes the counters.
+func (c *TableCache) Reset() {
+	for i := range c.shards {
+		c.shards[i].mu.Lock()
+		c.shards[i].m = make(map[tableKey]*Table)
+		c.shards[i].mu.Unlock()
+	}
+	c.hits.Store(0)
+	c.misses.Store(0)
+}

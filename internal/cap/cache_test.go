@@ -1,0 +1,117 @@
+package cap
+
+import (
+	"math"
+	"sync"
+	"testing"
+)
+
+func tablesEqual(a, b Table) bool {
+	if a.W != b.W || a.D != b.D || len(a.Deltas) != len(b.Deltas) {
+		return false
+	}
+	for i := range a.Deltas {
+		if a.Deltas[i] != b.Deltas[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func TestTableCacheMatchesBuildTable(t *testing.T) {
+	c := NewTableCache()
+	p := Default130
+	for _, grounded := range []bool{false, true} {
+		for _, d := range []int64{700, 1000, 2200, 13000} {
+			for _, maxM := range []int{0, 1, 5, 50} {
+				got := c.Table(p, 300, d, maxM, grounded)
+				var want Table
+				if grounded {
+					want = p.BuildGroundedTable(300, d, maxM)
+				} else {
+					want = p.BuildTable(300, d, maxM)
+				}
+				if !tablesEqual(got, want) {
+					t.Fatalf("cache(d=%d,maxM=%d,g=%v) differs from direct build", d, maxM, grounded)
+				}
+			}
+		}
+	}
+}
+
+func TestTableCacheHitMissCounters(t *testing.T) {
+	c := NewTableCache()
+	p := Default130
+	c.Table(p, 300, 2000, 4, false)
+	if s := c.Stats(); s.Hits != 0 || s.Misses != 1 || s.Entries != 1 {
+		t.Fatalf("after first build: %+v", s)
+	}
+	c.Table(p, 300, 2000, 4, false)
+	if s := c.Stats(); s.Hits != 1 || s.Misses != 1 {
+		t.Fatalf("after repeat: %+v", s)
+	}
+	// Grounded is a distinct key even with identical geometry.
+	c.Table(p, 300, 2000, 4, true)
+	if s := c.Stats(); s.Misses != 2 || s.Entries != 2 {
+		t.Fatalf("grounded should miss: %+v", s)
+	}
+	// A different process is a distinct key too.
+	p2 := p
+	p2.EpsR = 2.8
+	c.Table(p2, 300, 2000, 4, false)
+	if s := c.Stats(); s.Misses != 3 || s.Entries != 3 {
+		t.Fatalf("different process should miss: %+v", s)
+	}
+	if hr := c.Stats().HitRate(); math.Abs(hr-0.25) > 1e-15 {
+		t.Fatalf("hit rate %g, want 0.25", hr)
+	}
+	c.Reset()
+	if s := c.Stats(); s.Hits != 0 || s.Misses != 0 || s.Entries != 0 {
+		t.Fatalf("after reset: %+v", s)
+	}
+}
+
+func TestTableCacheNormalizesOversizedCapacity(t *testing.T) {
+	// maxM beyond the geometric limit clamps, so 10 and 50 (both past
+	// limit=6 for w=300,d=2000) must share one entry with the exact request.
+	c := NewTableCache()
+	p := Default130
+	a := c.Table(p, 300, 2000, 10, false)
+	b := c.Table(p, 300, 2000, 50, false)
+	exact := c.Table(p, 300, 2000, 6, false)
+	if s := c.Stats(); s.Entries != 1 || s.Misses != 1 || s.Hits != 2 {
+		t.Fatalf("clamped requests should share an entry: %+v", s)
+	}
+	if !tablesEqual(a, b) || !tablesEqual(a, exact) {
+		t.Fatal("clamped requests returned different tables")
+	}
+}
+
+func TestTableCacheConcurrent(t *testing.T) {
+	c := NewTableCache()
+	p := Default130
+	spacings := []int64{700, 1000, 1400, 2200, 3400, 6600}
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for iter := 0; iter < 200; iter++ {
+				d := spacings[(g+iter)%len(spacings)]
+				got := c.Table(p, 300, d, 8, g%2 == 0)
+				want := p.BuildTable(300, d, 8)
+				if g%2 == 0 {
+					want = p.BuildGroundedTable(300, d, 8)
+				}
+				if !tablesEqual(got, want) {
+					t.Errorf("goroutine %d: wrong table for d=%d", g, d)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	if s := c.Stats(); s.Entries != 2*len(spacings) {
+		t.Fatalf("expected %d entries, got %+v", 2*len(spacings), s)
+	}
+}

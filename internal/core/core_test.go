@@ -49,6 +49,7 @@ func synthInstance(rng *rand.Rand, nCols int) *Instance {
 			cv.LinearSlope = rU * proc.DeltaLinear(1, w, d)
 			cv.NetLow = rng.Intn(3)
 			cv.RLow = rU
+			cv.REffLow = rU // quiet aggressor: sf = 1
 		}
 		if cv.MaxM > 0 {
 			in.Columns = append(in.Columns, cv)

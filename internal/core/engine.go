@@ -83,6 +83,24 @@ type Config struct {
 	// loses its optimality guarantee and becomes a heuristic; DP and ILP-II
 	// remain exact.
 	Grounded bool
+	// Cache overrides the capacitance-table cache used during instance
+	// construction; nil selects cap.Shared, the process-wide cache that
+	// reuses tables across columns, tiles, and sessions.
+	Cache *cap.TableCache
+	// NoTableCache disables table memoization entirely (every column builds
+	// its own table, the pre-cache behavior); used by benchmarks and the
+	// cache-correctness tests.
+	NoTableCache bool
+}
+
+// PrepStats breaks down the engine's preprocessing wall time. Analyze and
+// Build fan out across Config.Workers; the split lets benchmarks attribute
+// preprocessing cost the same way the paper's tables attribute solver CPU.
+type PrepStats struct {
+	Analyze time.Duration // RC analysis of every net
+	Extract time.Duration // slack-column extraction
+	Build   time.Duration // instance construction (accumulated by Instances)
+	Total   time.Duration // everything above plus grid/occupancy setup
 }
 
 // Engine holds the per-layout preprocessing shared by all methods: RC
@@ -96,12 +114,58 @@ type Engine struct {
 	Cfg      Config
 	Analyses []*rc.Analysis
 	Tiles    [][]scanline.TileColumns
+	// Prep records where the preprocessing wall time went (Build grows with
+	// each Instances call).
+	Prep PrepStats
+
+	cache *cap.TableCache // nil when Config.NoTableCache
+}
+
+// workerCount resolves the effective fan-out width for n independent items.
+func workerCount(workers, n int) int {
+	if workers > n {
+		workers = n
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	return workers
+}
+
+// fanOut runs fn(i) for i in [0, n) across the given number of workers. With
+// one worker it degenerates to a plain loop; fn must touch only index-owned
+// state so results are identical either way.
+func fanOut(workers, n int, fn func(i int)) {
+	if workers = workerCount(workers, n); workers == 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	idx := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range idx {
+				fn(i)
+			}
+		}()
+	}
+	for i := 0; i < n; i++ {
+		idx <- i
+	}
+	close(idx)
+	wg.Wait()
 }
 
 // NewEngine prepares a layout for fill synthesis: site grid, occupancy, RC
 // analysis of every net, and slack-column extraction under the configured
-// definition.
+// definition. With Config.Workers > 1 the per-net RC analyses run
+// concurrently; the result is identical to the serial build.
 func NewEngine(l *layout.Layout, dis *layout.Dissection, rule layout.FillRule, cfg Config) (*Engine, error) {
+	start := time.Now()
 	if err := l.Validate(); err != nil {
 		return nil, fmt.Errorf("core: %w", err)
 	}
@@ -119,57 +183,113 @@ func NewEngine(l *layout.Layout, dis *layout.Dissection, rule layout.FillRule, c
 		return nil, fmt.Errorf("core: %w", err)
 	}
 	occ := layout.NewOccupancy(l, grid, cfg.Layer)
+
+	analyzeStart := time.Now()
 	analyses := make([]*rc.Analysis, len(l.Nets))
-	for i, n := range l.Nets {
-		a, err := rc.Analyze(n, cfg.Proc)
+	errs := make([]error, len(l.Nets))
+	fanOut(cfg.Workers, len(l.Nets), func(i int) {
+		analyses[i], errs[i] = rc.Analyze(l.Nets[i], cfg.Proc)
+	})
+	for i, err := range errs {
 		if err != nil {
-			return nil, fmt.Errorf("core: net %q: %w", n.Name, err)
+			return nil, fmt.Errorf("core: net %q: %w", l.Nets[i].Name, err)
 		}
-		analyses[i] = a
 	}
+	analyzeDur := time.Since(analyzeStart)
+
+	extractStart := time.Now()
 	tiles, err := scanline.Extract(l, cfg.Layer, dis, occ, cfg.Def)
 	if err != nil {
 		return nil, fmt.Errorf("core: %w", err)
 	}
-	return &Engine{
+	e := &Engine{
 		L: l, Dis: dis, Grid: grid, Occ: occ, Rule: rule, Cfg: cfg,
 		Analyses: analyses, Tiles: tiles,
-	}, nil
+	}
+	e.Prep.Analyze = analyzeDur
+	e.Prep.Extract = time.Since(extractStart)
+	e.Prep.Total = time.Since(start)
+	if !cfg.NoTableCache {
+		e.cache = cfg.Cache
+		if e.cache == nil {
+			e.cache = cap.Shared
+		}
+	}
+	return e, nil
+}
+
+// CacheStats snapshots the engine's capacitance-table cache counters (zero
+// when caching is disabled). Note the default cache is process-wide, so the
+// counters span every engine sharing it.
+func (e *Engine) CacheStats() cap.CacheStats {
+	if e.cache == nil {
+		return cap.CacheStats{}
+	}
+	return e.cache.Stats()
 }
 
 // Instances builds the per-tile MDFC instances for a fill budget. Tiles with
 // a zero budget produce no instance. Budgets exceeding a tile's slack-column
 // capacity are clamped (the difference is reported by Result.Requested vs
-// Placed after a Run).
+// Placed after a Run). With Config.Workers > 1 the tiles are built
+// concurrently; the instance list is identical to the serial build.
 func (e *Engine) Instances(budget density.Budget) []*Instance {
-	var out []*Instance
+	start := time.Now()
+	type slot struct{ i, j, want int }
+	var slots []slot
 	for i := 0; i < e.Dis.NX; i++ {
 		for j := 0; j < e.Dis.NY; j++ {
-			want := budget[i][j]
-			if want <= 0 {
-				continue
-			}
-			in := e.buildInstance(i, j, want)
-			if len(in.Columns) > 0 {
-				out = append(out, in)
+			if want := budget[i][j]; want > 0 {
+				slots = append(slots, slot{i, j, want})
 			}
 		}
 	}
+	built := make([]*Instance, len(slots))
+	fanOut(e.Cfg.Workers, len(slots), func(s int) {
+		built[s] = e.buildInstance(slots[s].i, slots[s].j, slots[s].want)
+	})
+	var out []*Instance
+	for _, in := range built {
+		if len(in.Columns) > 0 {
+			out = append(out, in)
+		}
+	}
+	dur := time.Since(start)
+	e.Prep.Build += dur
+	e.Prep.Total += dur
 	return out
+}
+
+// PhaseTimes breaks a run's cost into phases so CPU comparisons isolate the
+// solver (the quantity the paper's tables report) from everything around it.
+type PhaseTimes struct {
+	// Preprocess is the engine's preprocessing total (RC analysis, slack
+	// extraction, instance construction) at the time of the run — shared by
+	// every run on the engine, reported here for a complete breakdown.
+	Preprocess time.Duration
+	Solve      time.Duration // summed per-instance solver durations (== Result.CPU)
+	Evaluate   time.Duration // assignment evaluation + per-net accounting
+	Place      time.Duration // fill materialization
 }
 
 // Result reports one method's placement and its measured impact.
 type Result struct {
 	Method     Method
 	Fill       *layout.FillSet
-	Requested  int           // total features the budget asked for
-	Placed     int           // features actually placed
-	Unweighted float64       // measured Σ ΔC·R over all lines, seconds
-	Weighted   float64       // measured Σ W_l·ΔC·R, seconds
-	PerNet     []float64     // unweighted added delay per net, seconds
-	CPU        time.Duration // solver wall time
-	Tiles      int           // instances solved
-	ILPNodes   int           // total branch-and-bound nodes (ILP methods)
+	Requested  int       // total features the budget asked for
+	Placed     int       // features actually placed
+	Unweighted float64   // measured Σ ΔC·R over all lines, seconds
+	Weighted   float64   // measured Σ W_l·ΔC·R, seconds
+	PerNet     []float64 // unweighted added delay per net, seconds
+	// CPU is solver-only time: the sum of per-instance solve durations, so
+	// serial and Workers>1 runs report comparable numbers. Wall is the
+	// end-to-end duration of the Run call (under Workers>1 it is smaller
+	// than CPU when tiles overlap).
+	CPU      time.Duration
+	Wall     time.Duration
+	Phases   PhaseTimes // preprocess/solve/evaluate/place breakdown
+	Tiles    int        // instances solved
+	ILPNodes int        // total branch-and-bound nodes (ILP methods)
 }
 
 // solveInstance dispatches one tile to the chosen solver. The Normal
@@ -227,31 +347,20 @@ func (e *Engine) Run(method Method, instances []*Instance) (*Result, error) {
 	type outcome struct {
 		a     Assignment
 		nodes int
+		dur   time.Duration // this instance's solve time
 		err   error
 	}
 	outs := make([]outcome, len(instances))
+	solveOne := func(i int) {
+		solveStart := time.Now()
+		a, nodes, err := e.solveInstance(method, instances[i])
+		outs[i] = outcome{a, nodes, time.Since(solveStart), err}
+	}
 	if workers := e.Cfg.Workers; workers > 1 && len(instances) > 1 {
-		idx := make(chan int)
-		var wg sync.WaitGroup
-		for w := 0; w < workers; w++ {
-			wg.Add(1)
-			go func() {
-				defer wg.Done()
-				for i := range idx {
-					a, nodes, err := e.solveInstance(method, instances[i])
-					outs[i] = outcome{a, nodes, err}
-				}
-			}()
-		}
-		for i := range instances {
-			idx <- i
-		}
-		close(idx)
-		wg.Wait()
+		fanOut(workers, len(instances), solveOne)
 	} else {
-		for i, in := range instances {
-			a, nodes, err := e.solveInstance(method, in)
-			outs[i] = outcome{a, nodes, err}
+		for i := range instances {
+			solveOne(i)
 		}
 	}
 
@@ -262,6 +371,7 @@ func (e *Engine) Run(method Method, instances []*Instance) (*Result, error) {
 			return nil, fmt.Errorf("core: tile (%d,%d): %w", in.I, in.J, o.err)
 		}
 		res.ILPNodes += o.nodes
+		res.Phases.Solve += o.dur
 		placed := 0
 		for _, m := range o.a {
 			placed += m
@@ -272,44 +382,61 @@ func (e *Engine) Run(method Method, instances []*Instance) (*Result, error) {
 				return nil, fmt.Errorf("core: %v on tile (%d,%d): %w", method, in.I, in.J, err)
 			}
 		}
+		evalStart := time.Now()
 		u, w := in.Evaluate(o.a)
 		res.Unweighted += u
 		res.Weighted += w
 		res.Requested += in.F
 		res.Placed += placed
 		res.Tiles++
-		e.accumulatePerNet(res.PerNet, in, o.a)
-		e.place(res.Fill, in, o.a)
+		err := e.accumulatePerNet(res.PerNet, in, o.a)
+		res.Phases.Evaluate += time.Since(evalStart)
+		if err != nil {
+			return nil, fmt.Errorf("core: %v on tile (%d,%d): %w", method, in.I, in.J, err)
+		}
+		placeStart := time.Now()
+		err = e.place(res.Fill, in, o.a)
+		res.Phases.Place += time.Since(placeStart)
+		if err != nil {
+			return nil, fmt.Errorf("core: %v on tile (%d,%d): %w", method, in.I, in.J, err)
+		}
 	}
-	res.CPU = time.Since(start)
+	res.CPU = res.Phases.Solve
+	res.Wall = time.Since(start)
+	res.Phases.Preprocess = e.Prep.Total
 	return res, nil
 }
 
-// accumulatePerNet adds each bounding net's unweighted delay contribution.
-func (e *Engine) accumulatePerNet(perNet []float64, in *Instance, a Assignment) {
+// accumulatePerNet adds each bounding net's unweighted delay contribution,
+// using the switch-factor-scaled resistances so the per-net totals sum to
+// exactly what Evaluate reports. An assignment exceeding a column's cost
+// curve indicates a capacity-extraction bug and is reported as an error.
+func (e *Engine) accumulatePerNet(perNet []float64, in *Instance, a Assignment) error {
 	for k, m := range a {
 		cv := &in.Columns[k]
 		if m <= 0 || cv.DeltaC == nil {
 			continue
 		}
-		mm := m
-		if mm >= len(cv.DeltaC) {
-			mm = len(cv.DeltaC) - 1
+		if m >= len(cv.DeltaC) {
+			return fmt.Errorf("core: column %d assignment %d exceeds cost curve (max %d)", k, m, len(cv.DeltaC)-1)
 		}
-		dc := cv.DeltaC[mm]
+		dc := cv.DeltaC[m]
 		if cv.NetLow >= 0 {
-			perNet[cv.NetLow] += dc * cv.RLow
+			perNet[cv.NetLow] += dc * cv.REffLow
 		}
 		if cv.NetHigh >= 0 {
-			perNet[cv.NetHigh] += dc * cv.RHigh
+			perNet[cv.NetHigh] += dc * cv.REffHigh
 		}
 	}
+	return nil
 }
 
 // place materializes an assignment into fill features: the m features of a
 // column take the free rows nearest the gap's vertical center (the block
-// abstraction of the capacitance model grows symmetrically).
-func (e *Engine) place(fs *layout.FillSet, in *Instance, a Assignment) {
+// abstraction of the capacitance model grows symmetrically). An assignment
+// exceeding a column's free sites indicates a capacity-extraction bug and is
+// reported as an error.
+func (e *Engine) place(fs *layout.FillSet, in *Instance, a Assignment) error {
 	for k, m := range a {
 		if m <= 0 {
 			continue
@@ -322,6 +449,9 @@ func (e *Engine) place(fs *layout.FillSet, in *Instance, a Assignment) {
 				free = append(free, r)
 			}
 		}
+		if m > len(free) {
+			return fmt.Errorf("core: column %d assignment %d exceeds %d free sites", k, m, len(free))
+		}
 		center := (col.YLo + col.YHi) / 2
 		sort.Slice(free, func(a, b int) bool {
 			da := absI64(e.Grid.SiteY(free[a]) + e.Rule.Feature/2 - center)
@@ -331,15 +461,13 @@ func (e *Engine) place(fs *layout.FillSet, in *Instance, a Assignment) {
 			}
 			return free[a] < free[b]
 		})
-		if m > len(free) {
-			m = len(free) // defensive; capacity == len(free) by construction
-		}
 		rows := append([]int(nil), free[:m]...)
 		sort.Ints(rows)
 		for _, r := range rows {
 			fs.Fills = append(fs.Fills, layout.Fill{Col: col.Col, Row: r})
 		}
 	}
+	return nil
 }
 
 // solveGreedyCapped runs the Fig 8 greedy with the footnote's safeguard: an
@@ -379,10 +507,12 @@ func (e *Engine) solveGreedyCapped(in *Instance) Assignment {
 			take = remaining
 		}
 		if cv.DeltaC != nil {
+			// Charge the switch-factor-scaled resistances so the cap bounds
+			// the same per-net delay that Evaluate and PerNet report.
 			for take > 0 {
 				dc := cv.DeltaC[take]
-				okLow := cv.NetLow < 0 || spent[cv.NetLow]+dc*cv.RLow <= capS
-				okHigh := cv.NetHigh < 0 || spent[cv.NetHigh]+dc*cv.RHigh <= capS
+				okLow := cv.NetLow < 0 || spent[cv.NetLow]+dc*cv.REffLow <= capS
+				okHigh := cv.NetHigh < 0 || spent[cv.NetHigh]+dc*cv.REffHigh <= capS
 				if okLow && okHigh {
 					break
 				}
@@ -391,10 +521,10 @@ func (e *Engine) solveGreedyCapped(in *Instance) Assignment {
 			if take > 0 {
 				dc := cv.DeltaC[take]
 				if cv.NetLow >= 0 {
-					spent[cv.NetLow] += dc * cv.RLow
+					spent[cv.NetLow] += dc * cv.REffLow
 				}
 				if cv.NetHigh >= 0 {
-					spent[cv.NetHigh] += dc * cv.RHigh
+					spent[cv.NetHigh] += dc * cv.REffHigh
 				}
 			}
 		}

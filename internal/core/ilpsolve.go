@@ -166,7 +166,9 @@ func SolveILPII(in *Instance, opts *ilp.Options, netCap *NetCap) (Assignment, *i
 	p.Constraints = append(p.Constraints, lp.Constraint{Coeffs: fillRow, Op: lp.EQ, RHS: float64(in.F)})
 
 	if netCap != nil && (netCap.MaxAddedDelay > 0 || netCap.PerNet != nil) {
-		// Per-net rows: Σ_k Σ_n ΔC_k(n)·R_l(x_k)·m_{k,n} <= cap.
+		// Per-net rows: Σ_k Σ_n ΔC_k(n)·sf·R_l(x_k)·m_{k,n} <= cap. The
+		// switch-factor-scaled resistances keep the bound consistent with
+		// the per-net delays Evaluate and Result.PerNet report.
 		rows := map[int][]float64{}
 		for i := range in.Columns {
 			cv := &in.Columns[i]
@@ -187,8 +189,8 @@ func SolveILPII(in *Instance, opts *ilp.Options, netCap *NetCap) (Assignment, *i
 					row[v.base+n] += cv.DeltaC[n] * r
 				}
 			}
-			addSide(cv.NetLow, cv.RLow)
-			addSide(cv.NetHigh, cv.RHigh)
+			addSide(cv.NetLow, cv.REffLow)
+			addSide(cv.NetHigh, cv.REffHigh)
 		}
 		for net, row := range rows {
 			rhs := netCap.budgetFor(net)

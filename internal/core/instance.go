@@ -59,6 +59,13 @@ type ColumnVar struct {
 	// per-net delay-cap extension and per-net reporting.
 	NetLow, NetHigh int
 	RLow, RHigh     float64
+
+	// REffLow/REffHigh are the switch-factor-scaled upstream resistances
+	// (sf·R) each bounding line is actually charged per farad of added
+	// coupling — the per-side terms of r̂, so per-net attribution and the
+	// per-net delay caps agree with Evaluate. Equal to RLow/RHigh when
+	// crosstalk-aware costing is off.
+	REffLow, REffHigh float64
 }
 
 // costAt returns CostExact[m] handling nil (free) columns.
@@ -166,7 +173,9 @@ func (e *Engine) buildInstance(i, j int, want int) *Instance {
 		if col.HasLow || col.HasHigh {
 			d := col.Spacing()
 			var tbl cap.Table
-			if e.Cfg.Grounded {
+			if e.cache != nil {
+				tbl = e.cache.Table(proc, rule.Feature, d, col.Capacity, e.Cfg.Grounded)
+			} else if e.Cfg.Grounded {
 				tbl = proc.BuildGroundedTable(rule.Feature, d, col.Capacity)
 			} else {
 				tbl = proc.BuildTable(rule.Feature, d, col.Capacity)
@@ -188,15 +197,17 @@ func (e *Engine) buildInstance(i, j int, want int) *Instance {
 				r, w := analyses[col.Low.Net].At(col.Low.Seg, col.X)
 				cv.NetLow, cv.RLow = col.Low.Net, r
 				sf := switchFactor(aggLow)
-				rhatU += r * sf
-				rhatW += r * sf * float64(w)
+				cv.REffLow = r * sf
+				rhatU += cv.REffLow
+				rhatW += cv.REffLow * float64(w)
 			}
 			if col.HasHigh {
 				r, w := analyses[col.High.Net].At(col.High.Seg, col.X)
 				cv.NetHigh, cv.RHigh = col.High.Net, r
 				sf := switchFactor(aggHigh)
-				rhatU += r * sf
-				rhatW += r * sf * float64(w)
+				cv.REffHigh = r * sf
+				rhatU += cv.REffHigh
+				rhatW += cv.REffHigh * float64(w)
 			}
 			n := cv.MaxM + 1
 			cv.DeltaC = make([]float64, n)

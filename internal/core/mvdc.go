@@ -164,11 +164,18 @@ func (e *Engine) RunMVDC(grid *density.Grid, tileDelayBudget, targetMin, maxDens
 			res.Requested += n
 			res.Placed += placed
 			res.Tiles++
-			e.accumulatePerNet(res.PerNet, fr.Instance, a)
-			e.place(res.Fill, fr.Instance, a)
+			if err := e.accumulatePerNet(res.PerNet, fr.Instance, a); err != nil {
+				return nil, fmt.Errorf("core: MVDC tile (%d,%d): %w", i, j, err)
+			}
+			if err := e.place(res.Fill, fr.Instance, a); err != nil {
+				return nil, fmt.Errorf("core: MVDC tile (%d,%d): %w", i, j, err)
+			}
 		}
 	}
-	res.CPU = time.Since(start)
+	res.Wall = time.Since(start)
+	res.CPU = res.Wall // MVDC runs serially; frontier work is the solve
+	res.Phases.Solve = res.CPU
+	res.Phases.Preprocess = e.Prep.Total
 	return &MVDCResult{
 		Result:      res,
 		Budget:      budget,
@@ -242,6 +249,7 @@ func (e *Engine) RunBudgeted(instances []*Instance, netBudgets []float64) (*Resu
 	}
 	start := time.Now()
 	for _, in := range instances {
+		solveStart := time.Now()
 		a, sol, err := SolveILPII(in, &e.Cfg.ILPOpts, &NetCap{PerNet: perTile})
 		if sol != nil {
 			res.ILPNodes += sol.Nodes
@@ -250,20 +258,33 @@ func (e *Engine) RunBudgeted(instances []*Instance, netBudgets []float64) (*Resu
 			// Infeasible under the caps: place what fits greedily.
 			a = e.greedyUnderPerNetCaps(in, perTile)
 		}
+		res.Phases.Solve += time.Since(solveStart)
 		placed := 0
 		for _, m := range a {
 			placed += m
 		}
+		evalStart := time.Now()
 		u, w := in.Evaluate(a)
 		res.Unweighted += u
 		res.Weighted += w
 		res.Requested += in.F
 		res.Placed += placed
 		res.Tiles++
-		e.accumulatePerNet(res.PerNet, in, a)
-		e.place(res.Fill, in, a)
+		err = e.accumulatePerNet(res.PerNet, in, a)
+		res.Phases.Evaluate += time.Since(evalStart)
+		if err != nil {
+			return nil, fmt.Errorf("core: budgeted tile (%d,%d): %w", in.I, in.J, err)
+		}
+		placeStart := time.Now()
+		err = e.place(res.Fill, in, a)
+		res.Phases.Place += time.Since(placeStart)
+		if err != nil {
+			return nil, fmt.Errorf("core: budgeted tile (%d,%d): %w", in.I, in.J, err)
+		}
 	}
-	res.CPU = time.Since(start)
+	res.CPU = res.Phases.Solve
+	res.Wall = time.Since(start)
+	res.Phases.Preprocess = e.Prep.Total
 	return res, nil
 }
 
@@ -297,10 +318,11 @@ func (e *Engine) greedyUnderPerNetCaps(in *Instance, perTile []float64) Assignme
 			take = remaining
 		}
 		if cv.DeltaC != nil {
+			// Switch-factor-scaled, matching Evaluate/PerNet accounting.
 			for take > 0 {
 				dc := cv.DeltaC[take]
-				okLow := cv.NetLow < 0 || spent[cv.NetLow]+dc*cv.RLow <= perTile[cv.NetLow]
-				okHigh := cv.NetHigh < 0 || spent[cv.NetHigh]+dc*cv.RHigh <= perTile[cv.NetHigh]
+				okLow := cv.NetLow < 0 || spent[cv.NetLow]+dc*cv.REffLow <= perTile[cv.NetLow]
+				okHigh := cv.NetHigh < 0 || spent[cv.NetHigh]+dc*cv.REffHigh <= perTile[cv.NetHigh]
 				if okLow && okHigh {
 					break
 				}
@@ -309,10 +331,10 @@ func (e *Engine) greedyUnderPerNetCaps(in *Instance, perTile []float64) Assignme
 			if take > 0 {
 				dc := cv.DeltaC[take]
 				if cv.NetLow >= 0 {
-					spent[cv.NetLow] += dc * cv.RLow
+					spent[cv.NetLow] += dc * cv.REffLow
 				}
 				if cv.NetHigh >= 0 {
-					spent[cv.NetHigh] += dc * cv.RHigh
+					spent[cv.NetHigh] += dc * cv.REffHigh
 				}
 			}
 		}

@@ -91,7 +91,7 @@ func Analyze(l *layout.Layout, fs *layout.FillSet, rule layout.FillRule, proc ca
 			if okLow && okHigh {
 				d := overlapping[high].YBot - overlapping[low].YTop
 				if d > 0 {
-					tbl := proc.BuildTable(rule.Feature, d, m)
+					tbl := cap.Shared.Table(proc, rule.Feature, d, m, false)
 					dc := tbl.Delta(m)
 					refLow := overlapping[low].Ref
 					refHigh := overlapping[high].Ref

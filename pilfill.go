@@ -98,12 +98,17 @@ type Options struct {
 	// Activity holds optional per-net switching activities in [0, 1] for
 	// crosstalk-aware costing (switch-factor model); nil = quiet neighbors.
 	Activity []float64
-	// Workers solves tiles concurrently when > 1; results are identical to
-	// the serial run.
+	// Workers solves tiles — and runs engine preprocessing (per-net RC
+	// analysis, per-tile instance construction) — concurrently when > 1;
+	// results are identical to the serial run.
 	Workers int
 	// Grounded models tied-to-ground fill instead of floating fill:
 	// heavier loading, crosstalk shielding. See core.Config.Grounded.
 	Grounded bool
+	// NoTableCache disables the capacitance-table memo cache (every column
+	// rebuilds its own table); results are identical either way. Mainly for
+	// benchmarking the cache itself.
+	NoTableCache bool
 }
 
 func (o *Options) withDefaults() Options {
@@ -130,6 +135,9 @@ type Session struct {
 	Budget    density.Budget
 	Instances []*core.Instance
 	Opts      Options
+	// PrepTime is the session's total preparation wall time (dissection,
+	// engine preprocessing, density budgeting); Engine.Prep breaks down the
+	// engine's share by phase.
 	PrepTime  time.Duration
 	MinBefore float64
 	MaxBefore float64
@@ -150,14 +158,15 @@ func NewSession(l *layout.Layout, opts Options) (*Session, error) {
 		return nil, fmt.Errorf("pilfill: %w", err)
 	}
 	cfg := core.Config{
-		Layer:    o.Layer,
-		Def:      o.Def,
-		Weighted: o.Weighted,
-		Seed:     o.Seed,
-		NetCap:   o.NetCap,
-		Activity: o.Activity,
-		Workers:  o.Workers,
-		Grounded: o.Grounded,
+		Layer:        o.Layer,
+		Def:          o.Def,
+		Weighted:     o.Weighted,
+		Seed:         o.Seed,
+		NetCap:       o.NetCap,
+		Activity:     o.Activity,
+		Workers:      o.Workers,
+		Grounded:     o.Grounded,
+		NoTableCache: o.NoTableCache,
 	}
 	if o.ILPNodeLimit > 0 {
 		cfg.ILPOpts = ilp.Options{MaxNodes: o.ILPNodeLimit}
@@ -280,18 +289,26 @@ func (s *Session) Smoothness(rep *Report) (before, after float64) {
 }
 
 // Summary renders the report in a compact human-readable form. Delay totals
-// are shown in picoseconds.
+// are shown in picoseconds. The solve figure is solver-only CPU (summed over
+// instances, comparable across Workers settings); wall is the end-to-end
+// duration of the run.
 func (r *Report) Summary() string {
 	var b strings.Builder
 	res := r.Result
-	fmt.Fprintf(&b, "%-8s placed %d/%d fill features in %d tiles (%.0f ms)\n",
-		res.Method, res.Placed, res.Requested, res.Tiles, float64(res.CPU)/1e6)
+	fmt.Fprintf(&b, "%-8s placed %d/%d fill features in %d tiles (solve %.0f ms, wall %.0f ms)\n",
+		res.Method, res.Placed, res.Requested, res.Tiles,
+		float64(res.CPU)/1e6, float64(res.Wall)/1e6)
 	fmt.Fprintf(&b, "  delay impact: %.4f ps unweighted, %.4f ps weighted\n",
 		res.Unweighted*1e12, res.Weighted*1e12)
 	fmt.Fprintf(&b, "  window density: [%.4f, %.4f] -> [%.4f, %.4f]\n",
 		r.MinBefore, r.MaxBefore, r.MinAfter, r.MaxAfter)
 	return b.String()
 }
+
+// CacheStats snapshots the engine's capacitance-table cache counters; zero
+// when Options.NoTableCache was set. The default cache is process-wide, so
+// sessions sharing it see cumulative figures.
+func (s *Session) CacheStats() cap.CacheStats { return s.Engine.CacheStats() }
 
 // GenerateT1 builds the dense synthetic testcase (the stand-in for the
 // paper's industry design T1).
