@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: ci fmt vet build test race bench
+.PHONY: ci fmt vet build test race bench serve
 
 ci: fmt vet build test race
 
@@ -18,7 +18,11 @@ test:
 	$(GO) test ./...
 
 race:
-	$(GO) test -race ./internal/core/...
+	$(GO) test -race ./internal/core/... ./internal/jobqueue ./internal/server
 
 bench:
 	$(GO) test -bench 'EnginePreprocess' -benchtime 10x -run '^$$' .
+
+# Run the fill-synthesis daemon with development-friendly settings.
+serve:
+	$(GO) run ./cmd/pilfilld -addr :8419 -queue-capacity 32

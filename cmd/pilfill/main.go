@@ -11,6 +11,8 @@
 package main
 
 import (
+	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -20,6 +22,7 @@ import (
 	"pilfill"
 	"pilfill/internal/core"
 	"pilfill/internal/layout"
+	"pilfill/internal/server"
 	"pilfill/internal/testcases"
 )
 
@@ -30,24 +33,14 @@ func fail(format string, args ...any) {
 
 func ms(d time.Duration) float64 { return float64(d) / 1e6 }
 
-func parseMethod(s string) (core.Method, bool) {
-	switch strings.ToLower(s) {
-	case "normal":
-		return core.Normal, true
-	case "greedy":
-		return core.Greedy, true
-	case "ilp-i", "ilpi", "ilp1":
-		return core.ILPI, true
-	case "ilp-ii", "ilpii", "ilp2":
-		return core.ILPII, true
-	case "dp":
-		return core.DP, true
-	case "marginal", "marginalgreedy":
-		return core.MarginalGreedy, true
-	case "greedycapped", "capped":
-		return core.GreedyCapped, true
-	}
-	return 0, false
+// jsonOutput is the -json document: session-level figures plus one report
+// payload per method run, in the exact serialization pilfilld returns.
+type jsonOutput struct {
+	Layout  string                  `json:"layout"`
+	Nets    int                     `json:"nets"`
+	Budget  int                     `json:"budget"`
+	PrepMS  float64                 `json:"prep_ms"`
+	Reports []*server.ReportPayload `json:"reports"`
 }
 
 func main() {
@@ -70,6 +63,8 @@ func main() {
 		workers  = flag.Int("workers", 0, "solve tiles (and preprocess) concurrently with this many workers")
 		grounded = flag.Bool("grounded", false, "model grounded (tied) fill instead of floating fill")
 		phases   = flag.Bool("phases", false, "print the per-run phase timing breakdown (solve/evaluate/place)")
+		timeout  = flag.Duration("timeout", 0, "abort the solves after this long (0 = no limit)")
+		jsonOut  = flag.Bool("json", false, "emit the reports as JSON (the pilfilld serialization) instead of text")
 	)
 	flag.Parse()
 
@@ -127,40 +122,66 @@ func main() {
 	if err != nil {
 		fail("%v", err)
 	}
-	fmt.Printf("layout %s: %d nets, budget %d fill features, prep %.0f ms\n",
-		l.Name, len(l.Nets), s.Budget.Total(), float64(s.PrepTime)/1e6)
-	prep := s.Engine.Prep
-	fmt.Printf("  prep phases: analyze %.1f ms, extract %.1f ms, build %.1f ms",
-		ms(prep.Analyze), ms(prep.Extract), ms(prep.Build))
-	if cs := s.CacheStats(); cs.Hits+cs.Misses > 0 {
-		fmt.Printf("; cap-table cache %d hits / %d misses (%d tables)", cs.Hits, cs.Misses, cs.Entries)
+	if !*jsonOut {
+		fmt.Printf("layout %s: %d nets, budget %d fill features, prep %.0f ms\n",
+			l.Name, len(l.Nets), s.Budget.Total(), float64(s.PrepTime)/1e6)
+		prep := s.Engine.Prep
+		fmt.Printf("  prep phases: analyze %.1f ms, extract %.1f ms, build %.1f ms",
+			ms(prep.Analyze), ms(prep.Extract), ms(prep.Build))
+		if cs := s.CacheStats(); cs.Hits+cs.Misses > 0 {
+			fmt.Printf("; cap-table cache %d hits / %d misses (%d tables)", cs.Hits, cs.Misses, cs.Entries)
+		}
+		fmt.Println()
 	}
-	fmt.Println()
 
 	var methods []core.Method
 	if strings.EqualFold(*method, "all") {
 		methods = []core.Method{core.Normal, core.ILPI, core.ILPII, core.Greedy}
 	} else {
-		m, ok := parseMethod(*method)
+		m, ok := server.ParseMethod(*method)
 		if !ok {
 			fail("unknown method %q", *method)
 		}
 		methods = []core.Method{m}
 	}
 
+	ctx := context.Background()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
+
+	out := jsonOutput{
+		Layout: l.Name,
+		Nets:   len(l.Nets),
+		Budget: s.Budget.Total(),
+		PrepMS: ms(s.PrepTime),
+	}
 	var last *pilfill.Report
 	for _, m := range methods {
-		rep, err := s.Run(m)
+		rep, err := s.RunContext(ctx, m)
 		if err != nil {
 			fail("%v: %v", m, err)
 		}
-		fmt.Print(rep.Summary())
-		if *phases {
-			ph := rep.Result.Phases
-			fmt.Printf("  phases: solve %.1f ms, evaluate %.1f ms, place %.1f ms (preprocess %.1f ms shared)\n",
-				ms(ph.Solve), ms(ph.Evaluate), ms(ph.Place), ms(ph.Preprocess))
+		if *jsonOut {
+			out.Reports = append(out.Reports, server.BuildReport(s, rep))
+		} else {
+			fmt.Print(rep.Summary())
+			if *phases {
+				ph := rep.Result.Phases
+				fmt.Printf("  phases: solve %.1f ms, evaluate %.1f ms, place %.1f ms (preprocess %.1f ms shared)\n",
+					ms(ph.Solve), ms(ph.Evaluate), ms(ph.Place), ms(ph.Preprocess))
+			}
 		}
 		last = rep
+	}
+	if *jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(out); err != nil {
+			fail("%v", err)
+		}
 	}
 
 	if *odef != "" && last != nil {
@@ -172,7 +193,9 @@ func main() {
 			fail("%v", err)
 		}
 		f.Close()
-		fmt.Printf("wrote %s\n", *odef)
+		if !*jsonOut {
+			fmt.Printf("wrote %s\n", *odef)
+		}
 	}
 	if *ogds != "" && last != nil {
 		f, err := os.Create(*ogds)
@@ -183,7 +206,9 @@ func main() {
 			fail("%v", err)
 		}
 		f.Close()
-		fmt.Printf("wrote %s\n", *ogds)
+		if !*jsonOut {
+			fmt.Printf("wrote %s\n", *ogds)
+		}
 	}
 	if *osvg != "" && last != nil {
 		f, err := os.Create(*osvg)
@@ -194,7 +219,9 @@ func main() {
 			fail("%v", err)
 		}
 		f.Close()
-		fmt.Printf("wrote %s\n", *osvg)
+		if !*jsonOut {
+			fmt.Printf("wrote %s\n", *osvg)
+		}
 	}
 	if *verify && last != nil {
 		vs := s.Verify(last)

@@ -1,0 +1,80 @@
+// Command pilfilld serves fill synthesis over HTTP: a bounded job queue
+// with a fixed worker pool, per-job deadlines, cancellation, and Prometheus
+// metrics. See internal/server for the API.
+//
+// Usage:
+//
+//	pilfilld -addr :8419 -queue-capacity 32 -queue-workers 4
+//
+// On SIGTERM/SIGINT the daemon drains: /healthz flips to 503, new
+// submissions are rejected, running and queued jobs finish (up to
+// -drain-timeout, after which they are cancelled), then the listener
+// closes.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"runtime"
+	"syscall"
+	"time"
+
+	"pilfill/internal/jobqueue"
+	"pilfill/internal/server"
+)
+
+func main() {
+	var (
+		addr         = flag.String("addr", ":8419", "listen address")
+		capacity     = flag.Int("queue-capacity", 32, "bounded queue capacity; full queue rejects with 429")
+		workers      = flag.Int("queue-workers", max(1, runtime.NumCPU()/2), "concurrent jobs")
+		jobTimeout   = flag.Duration("job-timeout", 10*time.Minute, "default per-job run deadline (0 = none; requests may set a shorter one)")
+		drainTimeout = flag.Duration("drain-timeout", 30*time.Second, "how long shutdown waits for accepted jobs before cancelling them")
+		maxBody      = flag.Int64("max-body-bytes", 64<<20, "request body limit (inline DEF payloads)")
+	)
+	flag.Parse()
+
+	srv := server.New(server.Config{
+		Queue: jobqueue.Config{
+			Capacity:       *capacity,
+			Workers:        *workers,
+			DefaultTimeout: *jobTimeout,
+		},
+		MaxBodyBytes: *maxBody,
+	})
+	hs := &http.Server{Addr: *addr, Handler: srv}
+
+	errCh := make(chan error, 1)
+	go func() { errCh <- hs.ListenAndServe() }()
+	log.Printf("pilfilld listening on %s (queue capacity %d, %d workers, job timeout %v)",
+		*addr, *capacity, *workers, *jobTimeout)
+
+	sigCh := make(chan os.Signal, 1)
+	signal.Notify(sigCh, syscall.SIGTERM, syscall.SIGINT)
+	select {
+	case sig := <-sigCh:
+		log.Printf("received %v, draining (timeout %v)", sig, *drainTimeout)
+	case err := <-errCh:
+		log.Fatalf("listener failed: %v", err)
+	}
+
+	// Drain first while the listener still serves GETs, so clients can poll
+	// their jobs' final states; then close the listener.
+	drainCtx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+	defer cancel()
+	if err := srv.Shutdown(drainCtx); err != nil {
+		log.Printf("drain incomplete, remaining jobs cancelled: %v", err)
+	} else {
+		log.Printf("queue drained")
+	}
+	httpCtx, cancel2 := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel2()
+	if err := hs.Shutdown(httpCtx); err != nil && !errors.Is(err, http.ErrServerClosed) {
+		log.Printf("http shutdown: %v", err)
+	}
+}

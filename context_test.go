@@ -1,0 +1,103 @@
+package pilfill
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+)
+
+// t2Session builds a small session shared by the cancellation tests.
+func t2Session(t *testing.T, opts Options) *Session {
+	t.Helper()
+	l, err := GenerateT2()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if opts.Window == 0 {
+		opts.Window = 51200
+	}
+	if opts.R == 0 {
+		opts.R = 4
+	}
+	opts.Rule = DefaultRuleT1T2()
+	s, err := NewSession(l, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestRunContextPreCancelled(t *testing.T) {
+	s := t2Session(t, Options{Seed: 1})
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := s.RunContext(ctx, Greedy); !errors.Is(err, context.Canceled) {
+		t.Fatalf("pre-cancelled RunContext err = %v, want context.Canceled", err)
+	}
+	// The same session still works with a live context.
+	if _, err := s.RunContext(context.Background(), Greedy); err != nil {
+		t.Fatalf("run after cancelled run: %v", err)
+	}
+}
+
+func TestRunContextDeadlineMidSolve(t *testing.T) {
+	l, err := GenerateT1()
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := NewSession(l, Options{Window: 51200, R: 4, Seed: 1, Rule: DefaultRuleT1T2()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// T1 ILP-II takes hundreds of milliseconds over many tiles; a short
+	// deadline must abort mid-run via the tile-boundary and branch-and-bound
+	// checks, well before the natural completion time.
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	_, err = s.RunContext(ctx, ILPII)
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v, want context.DeadlineExceeded", err)
+	}
+	if elapsed := time.Since(start); elapsed > 2*time.Second {
+		t.Fatalf("cancellation took %v; solver did not stop promptly", elapsed)
+	}
+	// An uncancelled run on the same session still matches a fresh run.
+	rep, err := s.Run(ILPII)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Result.Placed != rep.Result.Requested {
+		t.Fatalf("post-cancel run placed %d of %d", rep.Result.Placed, rep.Result.Requested)
+	}
+}
+
+func TestRunMVDCContextCancelled(t *testing.T) {
+	s := t2Session(t, Options{Seed: 1})
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, _, err := s.RunMVDCContext(ctx, 1e-6); !errors.Is(err, context.Canceled) {
+		t.Fatalf("MVDC err = %v, want context.Canceled", err)
+	}
+}
+
+func TestRunBudgetedContextCancelled(t *testing.T) {
+	s := t2Session(t, Options{Seed: 1})
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := s.RunBudgetedContext(ctx, 0.5); !errors.Is(err, context.Canceled) {
+		t.Fatalf("budgeted err = %v, want context.Canceled", err)
+	}
+}
+
+// TestRunContextWorkersCancelled covers the concurrent solve path: the
+// fan-out must observe the cancel and the reduction must surface it.
+func TestRunContextWorkersCancelled(t *testing.T) {
+	s := t2Session(t, Options{Seed: 1, Workers: 4})
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := s.RunContext(ctx, ILPII); !errors.Is(err, context.Canceled) {
+		t.Fatalf("workers RunContext err = %v, want context.Canceled", err)
+	}
+}

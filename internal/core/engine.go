@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"sort"
@@ -292,10 +293,26 @@ type Result struct {
 	ILPNodes int        // total branch-and-bound nodes (ILP methods)
 }
 
+// ilpOpts copies the configured branch-and-bound limits and, when the
+// context is cancellable, adds a per-node cancellation poll so an in-flight
+// ILP solve stops promptly instead of running to its node limit.
+func (e *Engine) ilpOpts(ctx context.Context) *ilp.Options {
+	opts := e.Cfg.ILPOpts
+	if ctx.Done() != nil {
+		opts.Cancel = func() bool { return ctx.Err() != nil }
+	}
+	return &opts
+}
+
 // solveInstance dispatches one tile to the chosen solver. The Normal
 // baseline derives its randomness from (Seed, I, J) so tiles can be solved
-// in any order — or concurrently — with identical results.
-func (e *Engine) solveInstance(method Method, in *Instance) (Assignment, int, error) {
+// in any order — or concurrently — with identical results. A cancelled
+// context surfaces as the context's error; for the ILP methods the
+// branch-and-bound search itself is interrupted mid-tile.
+func (e *Engine) solveInstance(ctx context.Context, method Method, in *Instance) (Assignment, int, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, 0, err
+	}
 	switch method {
 	case Normal:
 		seed := e.Cfg.Seed ^ (int64(in.I)*1_000_003+int64(in.J))*2_654_435_761
@@ -307,10 +324,13 @@ func (e *Engine) solveInstance(method Method, in *Instance) (Assignment, int, er
 	case GreedyCapped:
 		return e.solveGreedyCapped(in), 0, nil
 	case DP:
-		a, err := SolveDP(in)
+		a, err := SolveDPContext(ctx, in)
 		return a, 0, err
 	case ILPI:
-		a, sol, err := SolveILPI(in, &e.Cfg.ILPOpts)
+		a, sol, err := SolveILPI(in, e.ilpOpts(ctx))
+		if ctxErr := ctx.Err(); ctxErr != nil {
+			return nil, 0, ctxErr
+		}
 		nodes := 0
 		if sol != nil {
 			nodes = sol.Nodes
@@ -321,7 +341,10 @@ func (e *Engine) solveInstance(method Method, in *Instance) (Assignment, int, er
 		if e.Cfg.NetCap > 0 {
 			nc = &NetCap{MaxAddedDelay: e.Cfg.NetCap}
 		}
-		a, sol, err := SolveILPII(in, &e.Cfg.ILPOpts, nc)
+		a, sol, err := SolveILPII(in, e.ilpOpts(ctx), nc)
+		if ctxErr := ctx.Err(); ctxErr != nil {
+			return nil, 0, ctxErr
+		}
 		nodes := 0
 		if sol != nil {
 			nodes = sol.Nodes
@@ -337,6 +360,15 @@ func (e *Engine) solveInstance(method Method, in *Instance) (Assignment, int, er
 // Config.Workers > 1 the tiles are solved concurrently; the result is
 // identical to the serial run.
 func (e *Engine) Run(method Method, instances []*Instance) (*Result, error) {
+	return e.RunContext(context.Background(), method, instances)
+}
+
+// RunContext is Run with cancellation: the context is checked at every tile
+// boundary (and, for the ILP methods, per branch-and-bound node), so a
+// cancelled or deadline-expired context stops the remaining solver work and
+// returns an error wrapping ctx.Err(). A partially solved run yields no
+// partial Result.
+func (e *Engine) RunContext(ctx context.Context, method Method, instances []*Instance) (*Result, error) {
 	res := &Result{
 		Method: method,
 		Fill:   &layout.FillSet{Grid: e.Grid, Layer: e.Cfg.Layer},
@@ -353,7 +385,7 @@ func (e *Engine) Run(method Method, instances []*Instance) (*Result, error) {
 	outs := make([]outcome, len(instances))
 	solveOne := func(i int) {
 		solveStart := time.Now()
-		a, nodes, err := e.solveInstance(method, instances[i])
+		a, nodes, err := e.solveInstance(ctx, method, instances[i])
 		outs[i] = outcome{a, nodes, time.Since(solveStart), err}
 	}
 	if workers := e.Cfg.Workers; workers > 1 && len(instances) > 1 {
@@ -369,6 +401,9 @@ func (e *Engine) Run(method Method, instances []*Instance) (*Result, error) {
 		o := outs[i]
 		if o.err != nil {
 			return nil, fmt.Errorf("core: tile (%d,%d): %w", in.I, in.J, o.err)
+		}
+		if err := ctx.Err(); err != nil {
+			return nil, fmt.Errorf("core: %v run interrupted: %w", method, err)
 		}
 		res.ILPNodes += o.nodes
 		res.Phases.Solve += o.dur

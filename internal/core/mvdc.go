@@ -2,6 +2,7 @@ package core
 
 import (
 	"container/heap"
+	"context"
 	"fmt"
 	"sort"
 	"time"
@@ -96,6 +97,14 @@ type MVDCResult struct {
 // maxDensity). Placement within each tile follows that tile's optimal fill
 // frontier, so the delay spent for any fill amount is minimal.
 func (e *Engine) RunMVDC(grid *density.Grid, tileDelayBudget, targetMin, maxDensity float64) (*MVDCResult, error) {
+	return e.RunMVDCContext(context.Background(), grid, tileDelayBudget, targetMin, maxDensity)
+}
+
+// RunMVDCContext is RunMVDC with cancellation: the context is checked at
+// every tile boundary of both the frontier-construction and materialization
+// passes, so a cancelled or deadline-expired context stops the work and
+// returns an error wrapping ctx.Err().
+func (e *Engine) RunMVDCContext(ctx context.Context, grid *density.Grid, tileDelayBudget, targetMin, maxDensity float64) (*MVDCResult, error) {
 	if tileDelayBudget < 0 {
 		return nil, fmt.Errorf("core: negative delay budget %g", tileDelayBudget)
 	}
@@ -110,6 +119,9 @@ func (e *Engine) RunMVDC(grid *density.Grid, tileDelayBudget, targetMin, maxDens
 	for i := 0; i < e.Dis.NX; i++ {
 		capped[i] = make([]int, e.Dis.NY)
 		for j := 0; j < e.Dis.NY; j++ {
+			if err := ctx.Err(); err != nil {
+				return nil, fmt.Errorf("core: MVDC interrupted: %w", err)
+			}
 			tc := &e.Tiles[i][j]
 			if len(tc.Cols) == 0 {
 				continue
@@ -145,6 +157,9 @@ func (e *Engine) RunMVDC(grid *density.Grid, tileDelayBudget, targetMin, maxDens
 	}
 	for i := 0; i < e.Dis.NX; i++ {
 		for j := 0; j < e.Dis.NY; j++ {
+			if err := ctx.Err(); err != nil {
+				return nil, fmt.Errorf("core: MVDC interrupted: %w", err)
+			}
 			n := budget[i][j]
 			if n <= 0 {
 				continue
@@ -213,6 +228,14 @@ func (e *Engine) NetBudgets(fraction, minBudget float64) []float64 {
 // since budgets are per net but tiles are solved independently). Infeasible
 // tiles fall back to the budget-respecting greedy, placing as much as fits.
 func (e *Engine) RunBudgeted(instances []*Instance, netBudgets []float64) (*Result, error) {
+	return e.RunBudgetedContext(context.Background(), instances, netBudgets)
+}
+
+// RunBudgetedContext is RunBudgeted with cancellation: the context is
+// checked at every tile boundary and polled inside the per-tile ILP solves.
+// A cancelled context aborts the run — it is never mistaken for ILP
+// infeasibility, so the greedy fallback does not fire on cancellation.
+func (e *Engine) RunBudgetedContext(ctx context.Context, instances []*Instance, netBudgets []float64) (*Result, error) {
 	if len(netBudgets) != len(e.L.Nets) {
 		return nil, fmt.Errorf("core: %d net budgets for %d nets", len(netBudgets), len(e.L.Nets))
 	}
@@ -249,10 +272,16 @@ func (e *Engine) RunBudgeted(instances []*Instance, netBudgets []float64) (*Resu
 	}
 	start := time.Now()
 	for _, in := range instances {
+		if err := ctx.Err(); err != nil {
+			return nil, fmt.Errorf("core: budgeted run interrupted: %w", err)
+		}
 		solveStart := time.Now()
-		a, sol, err := SolveILPII(in, &e.Cfg.ILPOpts, &NetCap{PerNet: perTile})
+		a, sol, err := SolveILPII(in, e.ilpOpts(ctx), &NetCap{PerNet: perTile})
 		if sol != nil {
 			res.ILPNodes += sol.Nodes
+		}
+		if ctxErr := ctx.Err(); ctxErr != nil {
+			return nil, fmt.Errorf("core: budgeted run interrupted: %w", ctxErr)
 		}
 		if err != nil {
 			// Infeasible under the caps: place what fits greedily.

@@ -2,6 +2,7 @@ package core
 
 import (
 	"container/heap"
+	"context"
 	"fmt"
 	"math"
 	"math/rand"
@@ -130,6 +131,13 @@ const DPMaxStates = 50_000_000
 // pseudo-polynomial — O(K·F·maxM) time, O(F) space — and is used as the
 // optimality reference in tests and ablations.
 func SolveDP(in *Instance) (Assignment, error) {
+	return SolveDPContext(context.Background(), in)
+}
+
+// SolveDPContext is SolveDP with cancellation: the context is polled once
+// per column (the outer loop of the table fill), bounding the work after a
+// cancel to one column's O(F·maxM) row.
+func SolveDPContext(ctx context.Context, in *Instance) (Assignment, error) {
 	kn := len(in.Columns)
 	if int64(kn)*int64(in.F+1) > DPMaxStates {
 		return nil, fmt.Errorf("core: DP instance too large (%d columns × %d budget)", kn, in.F)
@@ -141,6 +149,9 @@ func SolveDP(in *Instance) (Assignment, error) {
 		dp[f] = inf
 	}
 	for k := 0; k < kn; k++ {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		cv := &in.Columns[k]
 		choice[k] = make([]int32, in.F+1)
 		next := make([]float64, in.F+1)

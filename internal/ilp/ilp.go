@@ -85,6 +85,11 @@ type Options struct {
 	MaxNodes int           // 0 means DefaultMaxNodes
 	Timeout  time.Duration // 0 means no time limit
 	IntTol   float64       // integrality tolerance; 0 means 1e-6
+	// Cancel, when non-nil, is polled once per branch-and-bound node; a true
+	// return stops the search as if a limit had been hit (Status Feasible
+	// with the incumbent so far, or Limit without one). Callers plumbing a
+	// context typically set it to func() bool { return ctx.Err() != nil }.
+	Cancel func() bool
 }
 
 // DefaultMaxNodes is the node budget applied when Options.MaxNodes is zero.
@@ -165,7 +170,8 @@ func Solve(p *Problem, opts *Options) (*Solution, error) {
 	// by the incumbent.
 	stack := []*node{{}}
 	for len(stack) > 0 {
-		if s.nodes >= o.MaxNodes || (!deadline.IsZero() && time.Now().After(deadline)) {
+		if s.nodes >= o.MaxNodes || (!deadline.IsZero() && time.Now().After(deadline)) ||
+			(o.Cancel != nil && o.Cancel()) {
 			return s.finish(false), nil
 		}
 		n := stack[len(stack)-1]

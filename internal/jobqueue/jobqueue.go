@@ -1,0 +1,442 @@
+// Package jobqueue implements the bounded job queue behind pilfilld: a
+// fixed-capacity FIFO of submitted tasks drained by a fixed worker pool,
+// with per-job deadlines, cooperative cancellation via context, and a
+// pending → running → done/failed/cancelled state machine.
+//
+// Backpressure is rejection, not blocking: Submit never waits — when the
+// pending buffer is full it returns ErrQueueFull immediately, which the
+// HTTP layer maps to 429 so load sheds at the edge instead of piling up
+// inside the process. Tasks are plain functions receiving a context; the
+// queue guarantees the context is cancelled when the job is deleted, its
+// deadline expires, or the queue is force-shut-down, and relies on the task
+// honoring it (the pilfill solve path checks it at tile boundaries).
+package jobqueue
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// State is a job's position in its lifecycle.
+type State int
+
+// Job states. Pending and Running are transient; Done, Failed and
+// Cancelled are terminal.
+const (
+	Pending State = iota
+	Running
+	Done
+	Failed
+	Cancelled
+)
+
+// String names the state as the HTTP API spells it.
+func (s State) String() string {
+	switch s {
+	case Pending:
+		return "pending"
+	case Running:
+		return "running"
+	case Done:
+		return "done"
+	case Failed:
+		return "failed"
+	case Cancelled:
+		return "cancelled"
+	}
+	return fmt.Sprintf("State(%d)", int(s))
+}
+
+// Terminal reports whether the state is final.
+func (s State) Terminal() bool { return s == Done || s == Failed || s == Cancelled }
+
+// Task is the unit of work: it runs on a queue worker, must return promptly
+// once ctx is cancelled, and may call setPhase to publish coarse progress
+// ("prepare", "solve", ...) that Get exposes while the job runs.
+type Task func(ctx context.Context, setPhase func(string)) (any, error)
+
+// Sentinel errors returned by Submit, Get and Cancel.
+var (
+	ErrQueueFull = errors.New("jobqueue: queue full")
+	ErrDraining  = errors.New("jobqueue: shutting down")
+	ErrNotFound  = errors.New("jobqueue: no such job")
+	ErrFinished  = errors.New("jobqueue: job already finished")
+	errShutdown  = errors.New("jobqueue: cancelled by shutdown")
+)
+
+// Config parameterizes a Queue.
+type Config struct {
+	// Capacity bounds the pending buffer; Submit rejects with ErrQueueFull
+	// when it is full. Default 16.
+	Capacity int
+	// Workers is the number of jobs run concurrently. Default 1.
+	Workers int
+	// DefaultTimeout is the per-job run deadline applied when
+	// SubmitOptions.Timeout is zero; zero means no deadline.
+	DefaultTimeout time.Duration
+	// OnFinish, when non-nil, is called (outside all queue locks) each time
+	// a job reaches a terminal state — the hook the server's metrics hang
+	// off. It may be called from worker goroutines and from Cancel.
+	OnFinish func(Snapshot)
+}
+
+// SubmitOptions carries per-job knobs.
+type SubmitOptions struct {
+	// Timeout bounds the job's run time (measured from when a worker picks
+	// it up, not from submission); zero uses Config.DefaultTimeout.
+	Timeout time.Duration
+}
+
+// Snapshot is a race-free copy of a job's externally visible state.
+type Snapshot struct {
+	ID        string
+	State     State
+	Phase     string // last setPhase value while running
+	Submitted time.Time
+	Started   time.Time // zero until the job runs
+	Finished  time.Time // zero until terminal
+	Result    any       // the task's return value, when Done
+	Err       error     // terminal error, when Failed or Cancelled
+}
+
+// job is the internal record; all mutable fields are guarded by mu.
+type job struct {
+	id      string
+	task    Task
+	timeout time.Duration
+
+	mu              sync.Mutex
+	state           State
+	phase           string
+	submitted       time.Time
+	started         time.Time
+	finished        time.Time
+	result          any
+	err             error
+	cancel          context.CancelCauseFunc // non-nil only while running
+	cancelRequested bool
+}
+
+func (j *job) snapshotLocked() Snapshot {
+	return Snapshot{
+		ID:        j.id,
+		State:     j.state,
+		Phase:     j.phase,
+		Submitted: j.submitted,
+		Started:   j.started,
+		Finished:  j.finished,
+		Result:    j.result,
+		Err:       j.err,
+	}
+}
+
+func (j *job) snapshot() Snapshot {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.snapshotLocked()
+}
+
+// Stats is a point-in-time view of the queue for health and metrics.
+type Stats struct {
+	Capacity  int           // configured pending-buffer bound
+	Workers   int           // configured worker count
+	ByState   map[State]int // current job counts, including terminal ones
+	Submitted int64         // lifetime accepted jobs
+	Rejected  int64         // lifetime ErrQueueFull + ErrDraining rejections
+	Draining  bool          // Shutdown has begun
+}
+
+// Depth is the number of jobs waiting to run.
+func (s Stats) Depth() int { return s.ByState[Pending] }
+
+// Queue is a bounded FIFO job queue with a fixed worker pool. Create one
+// with New; the zero value is not usable.
+type Queue struct {
+	cfg     Config
+	pending chan *job
+
+	mu       sync.Mutex
+	jobs     map[string]*job
+	order    []string // submission order, for List
+	nextID   int64
+	draining bool
+
+	submitted atomic.Int64
+	rejected  atomic.Int64
+
+	baseCtx    context.Context // cancelled only by forced shutdown
+	baseCancel context.CancelCauseFunc
+	wg         sync.WaitGroup
+}
+
+// New builds the queue and starts its workers.
+func New(cfg Config) *Queue {
+	if cfg.Capacity <= 0 {
+		cfg.Capacity = 16
+	}
+	if cfg.Workers <= 0 {
+		cfg.Workers = 1
+	}
+	q := &Queue{
+		cfg:     cfg,
+		pending: make(chan *job, cfg.Capacity),
+		jobs:    make(map[string]*job),
+	}
+	q.baseCtx, q.baseCancel = context.WithCancelCause(context.Background())
+	for w := 0; w < cfg.Workers; w++ {
+		q.wg.Add(1)
+		go q.worker()
+	}
+	return q
+}
+
+// Submit enqueues a task. It never blocks: a full buffer returns
+// ErrQueueFull and a draining queue returns ErrDraining, both with a zero
+// Snapshot.
+func (q *Queue) Submit(task Task, opts SubmitOptions) (Snapshot, error) {
+	if task == nil {
+		return Snapshot{}, errors.New("jobqueue: nil task")
+	}
+	timeout := opts.Timeout
+	if timeout <= 0 {
+		timeout = q.cfg.DefaultTimeout
+	}
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if q.draining {
+		q.rejected.Add(1)
+		return Snapshot{}, ErrDraining
+	}
+	q.nextID++
+	j := &job{
+		id:        fmt.Sprintf("job-%08d", q.nextID),
+		task:      task,
+		timeout:   timeout,
+		state:     Pending,
+		submitted: time.Now(),
+	}
+	select {
+	case q.pending <- j:
+	default:
+		q.nextID-- // unused ID; keep IDs dense
+		q.rejected.Add(1)
+		return Snapshot{}, ErrQueueFull
+	}
+	q.jobs[j.id] = j
+	q.order = append(q.order, j.id)
+	q.submitted.Add(1)
+	return j.snapshot(), nil
+}
+
+// Get returns a job's current snapshot.
+func (q *Queue) Get(id string) (Snapshot, error) {
+	q.mu.Lock()
+	j := q.jobs[id]
+	q.mu.Unlock()
+	if j == nil {
+		return Snapshot{}, ErrNotFound
+	}
+	return j.snapshot(), nil
+}
+
+// List returns snapshots of every known job in submission order.
+func (q *Queue) List() []Snapshot {
+	q.mu.Lock()
+	ids := append([]string(nil), q.order...)
+	js := make([]*job, len(ids))
+	for i, id := range ids {
+		js[i] = q.jobs[id]
+	}
+	q.mu.Unlock()
+	out := make([]Snapshot, len(js))
+	for i, j := range js {
+		out[i] = j.snapshot()
+	}
+	return out
+}
+
+// Cancel stops a job: a pending job goes terminal immediately (its queue
+// slot is discarded when a worker reaches it), a running job has its
+// context cancelled and goes terminal once the task returns. Cancelling an
+// already-terminal job returns ErrFinished with the unchanged snapshot.
+func (q *Queue) Cancel(id string) (Snapshot, error) {
+	q.mu.Lock()
+	j := q.jobs[id]
+	q.mu.Unlock()
+	if j == nil {
+		return Snapshot{}, ErrNotFound
+	}
+	j.mu.Lock()
+	switch j.state {
+	case Pending:
+		j.cancelRequested = true
+		j.state = Cancelled
+		j.finished = time.Now()
+		j.err = context.Canceled
+		snap := j.snapshotLocked()
+		j.mu.Unlock()
+		if q.cfg.OnFinish != nil {
+			q.cfg.OnFinish(snap)
+		}
+		return snap, nil
+	case Running:
+		j.cancelRequested = true
+		cancel := j.cancel
+		snap := j.snapshotLocked()
+		j.mu.Unlock()
+		if cancel != nil {
+			cancel(context.Canceled)
+		}
+		return snap, nil
+	default:
+		snap := j.snapshotLocked()
+		j.mu.Unlock()
+		return snap, ErrFinished
+	}
+}
+
+// Stats snapshots the queue's aggregate state.
+func (q *Queue) Stats() Stats {
+	q.mu.Lock()
+	js := make([]*job, 0, len(q.jobs))
+	for _, j := range q.jobs {
+		js = append(js, j)
+	}
+	s := Stats{
+		Capacity:  q.cfg.Capacity,
+		Workers:   q.cfg.Workers,
+		ByState:   make(map[State]int),
+		Draining:  q.draining,
+		Submitted: q.submitted.Load(),
+		Rejected:  q.rejected.Load(),
+	}
+	q.mu.Unlock()
+	for _, j := range js {
+		j.mu.Lock()
+		s.ByState[j.state]++
+		j.mu.Unlock()
+	}
+	return s
+}
+
+// Draining reports whether Shutdown has begun (new submissions rejected).
+func (q *Queue) Draining() bool {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return q.draining
+}
+
+// Shutdown stops accepting new jobs and drains the accepted ones: running
+// jobs finish and queued jobs still run. If ctx expires first, every
+// remaining job is cancelled (running tasks via their context, queued ones
+// before they start), the workers are awaited, and ctx.Err() is returned.
+// Shutdown is idempotent; concurrent calls all wait for the drain.
+func (q *Queue) Shutdown(ctx context.Context) error {
+	q.mu.Lock()
+	if !q.draining {
+		q.draining = true
+		close(q.pending) // Submit sends under q.mu after checking draining
+	}
+	q.mu.Unlock()
+
+	done := make(chan struct{})
+	go func() {
+		q.wg.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		return nil
+	case <-ctx.Done():
+		q.baseCancel(errShutdown)
+		<-done
+		return ctx.Err()
+	}
+}
+
+func (q *Queue) worker() {
+	defer q.wg.Done()
+	for j := range q.pending {
+		q.runJob(j)
+	}
+}
+
+// runJob executes one dequeued job through its terminal state.
+func (q *Queue) runJob(j *job) {
+	j.mu.Lock()
+	if j.state != Pending { // cancelled while queued
+		j.mu.Unlock()
+		return
+	}
+	if q.baseCtx.Err() != nil { // forced shutdown before this job started
+		j.state = Cancelled
+		j.finished = time.Now()
+		j.err = errShutdown
+		snap := j.snapshotLocked()
+		j.mu.Unlock()
+		if q.cfg.OnFinish != nil {
+			q.cfg.OnFinish(snap)
+		}
+		return
+	}
+	ctx, cancel := context.WithCancelCause(q.baseCtx)
+	runCtx := ctx
+	stopTimer := func() {}
+	if j.timeout > 0 {
+		runCtx, stopTimer = context.WithTimeout(ctx, j.timeout)
+	}
+	j.state = Running
+	j.started = time.Now()
+	j.cancel = cancel
+	task := j.task
+	j.mu.Unlock()
+
+	result, err := runTask(task, runCtx, j.setPhase)
+	stopTimer()
+	cancel(nil)
+
+	j.mu.Lock()
+	j.finished = time.Now()
+	j.cancel = nil
+	switch {
+	case j.cancelRequested || errors.Is(err, errShutdown) ||
+		(q.baseCtx.Err() != nil && errors.Is(err, context.Canceled)):
+		j.state = Cancelled
+		if err == nil {
+			err = context.Canceled // task won the race against its cancel
+		}
+		j.err = err
+	case err != nil:
+		j.state = Failed
+		j.err = err
+	default:
+		j.state = Done
+		j.result = result
+	}
+	snap := j.snapshotLocked()
+	j.mu.Unlock()
+	if q.cfg.OnFinish != nil {
+		q.cfg.OnFinish(snap)
+	}
+}
+
+func (j *job) setPhase(phase string) {
+	j.mu.Lock()
+	j.phase = phase
+	j.mu.Unlock()
+}
+
+// runTask isolates task panics so one bad job fails instead of killing the
+// worker (and with it the whole pool).
+func runTask(task Task, ctx context.Context, setPhase func(string)) (result any, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			result, err = nil, fmt.Errorf("jobqueue: task panic: %v", r)
+		}
+	}()
+	return task(ctx, setPhase)
+}

@@ -1,0 +1,203 @@
+// api.go defines pilfilld's wire types: the job-submission request, the job
+// view returned by GET, and the report payload — the machine-readable form
+// of a pilfill.Report shared verbatim by the daemon's API and the pilfill
+// CLI's -json flag.
+package server
+
+import (
+	"strings"
+	"time"
+
+	"pilfill"
+	"pilfill/internal/core"
+	"pilfill/internal/jobqueue"
+)
+
+// SubmitRequest is the body of POST /v1/jobs. Exactly one of Testcase and
+// DEF must be set.
+type SubmitRequest struct {
+	// Testcase names a built-in synthetic layout: "T1" or "T2".
+	Testcase string `json:"testcase,omitempty"`
+	// DEF is an inline layout in the DEF-subset dialect.
+	DEF string `json:"def,omitempty"`
+	// LEF optionally supplies layer definitions for DEF (standard LEF).
+	LEF string `json:"lef,omitempty"`
+	// Method is the placement method, CLI spelling: Normal, Greedy, ILP-I,
+	// ILP-II, DP, MarginalGreedy, GreedyCapped.
+	Method string `json:"method"`
+	// Options mirror the pilfill CLI flags.
+	Options SubmitOptions `json:"options"`
+	// TimeoutMS bounds the job's run time in milliseconds; 0 uses the
+	// daemon's default.
+	TimeoutMS int64 `json:"timeout_ms,omitempty"`
+}
+
+// SubmitOptions is the JSON projection of pilfill.Options the service
+// accepts (layout-independent knobs only).
+type SubmitOptions struct {
+	Window       int     `json:"window,omitempty"` // in W units of 1.6 um; default 32
+	R            int     `json:"r,omitempty"`      // dissection factor; default 4
+	Weighted     bool    `json:"weighted,omitempty"`
+	SlackDef     int     `json:"slackdef,omitempty"` // 1, 2 or 3; default 3
+	Seed         int64   `json:"seed,omitempty"`
+	NetCapPS     float64 `json:"netcap_ps,omitempty"`
+	Workers      int     `json:"workers,omitempty"`
+	Grounded     bool    `json:"grounded,omitempty"`
+	ILPNodeLimit int     `json:"ilp_node_limit,omitempty"`
+}
+
+// JobView is the response of POST /v1/jobs, GET /v1/jobs/{id} and
+// DELETE /v1/jobs/{id}.
+type JobView struct {
+	ID    string `json:"id"`
+	State string `json:"state"`
+	// Phase is the job's current phase while running ("load", "prepare",
+	// "solve"); for finished jobs the phase timing breakdown is in
+	// Report.PhasesMS.
+	Phase     string         `json:"phase,omitempty"`
+	Method    string         `json:"method,omitempty"`
+	Submitted time.Time      `json:"submitted"`
+	Started   *time.Time     `json:"started,omitempty"`
+	Finished  *time.Time     `json:"finished,omitempty"`
+	Error     string         `json:"error,omitempty"`
+	Report    *ReportPayload `json:"report,omitempty"`
+}
+
+// ListResponse is the response of GET /v1/jobs.
+type ListResponse struct {
+	Jobs []JobView `json:"jobs"`
+}
+
+// ErrorResponse is the body of every non-2xx response.
+type ErrorResponse struct {
+	Error string `json:"error"`
+}
+
+// ReportPayload is the machine-readable pilfill.Report: totals in
+// picoseconds, times in milliseconds, the Result.Phases breakdown, density
+// control before/after, and the capacitance-table cache counters.
+type ReportPayload struct {
+	Method       string         `json:"method"`
+	Requested    int            `json:"requested"`
+	Placed       int            `json:"placed"`
+	Tiles        int            `json:"tiles"`
+	ILPNodes     int            `json:"ilp_nodes,omitempty"`
+	UnweightedPS float64        `json:"unweighted_ps"`
+	WeightedPS   float64        `json:"weighted_ps"`
+	SolveCPUMS   float64        `json:"solve_cpu_ms"`
+	WallMS       float64        `json:"wall_ms"`
+	PhasesMS     PhasesPayload  `json:"phases_ms"`
+	Density      DensityPayload `json:"density"`
+	Cache        *CachePayload  `json:"cache,omitempty"`
+}
+
+// PhasesPayload is core.PhaseTimes in milliseconds.
+type PhasesPayload struct {
+	Preprocess float64 `json:"preprocess"`
+	Solve      float64 `json:"solve"`
+	Evaluate   float64 `json:"evaluate"`
+	Place      float64 `json:"place"`
+}
+
+// DensityPayload is the window-density control of a report.
+type DensityPayload struct {
+	MinBefore float64 `json:"min_before"`
+	MaxBefore float64 `json:"max_before"`
+	MinAfter  float64 `json:"min_after"`
+	MaxAfter  float64 `json:"max_after"`
+}
+
+// CachePayload snapshots the cap-table cache counters. The default cache is
+// process-wide, so the figures are cumulative across jobs.
+type CachePayload struct {
+	Hits    uint64 `json:"hits"`
+	Misses  uint64 `json:"misses"`
+	Entries int    `json:"entries"`
+}
+
+// BuildReport converts a finished run into the wire payload. It is the one
+// serialization of a Report — the daemon's GET response and the CLI's -json
+// output both go through it.
+func BuildReport(s *pilfill.Session, rep *pilfill.Report) *ReportPayload {
+	res := rep.Result
+	ms := func(d time.Duration) float64 { return float64(d) / 1e6 }
+	p := &ReportPayload{
+		Method:       res.Method.String(),
+		Requested:    res.Requested,
+		Placed:       res.Placed,
+		Tiles:        res.Tiles,
+		ILPNodes:     res.ILPNodes,
+		UnweightedPS: res.Unweighted * 1e12,
+		WeightedPS:   res.Weighted * 1e12,
+		SolveCPUMS:   ms(res.CPU),
+		WallMS:       ms(res.Wall),
+		PhasesMS: PhasesPayload{
+			Preprocess: ms(res.Phases.Preprocess),
+			Solve:      ms(res.Phases.Solve),
+			Evaluate:   ms(res.Phases.Evaluate),
+			Place:      ms(res.Phases.Place),
+		},
+		Density: DensityPayload{
+			MinBefore: rep.MinBefore,
+			MaxBefore: rep.MaxBefore,
+			MinAfter:  rep.MinAfter,
+			MaxAfter:  rep.MaxAfter,
+		},
+	}
+	if cs := s.CacheStats(); cs.Hits+cs.Misses > 0 {
+		p.Cache = &CachePayload{Hits: cs.Hits, Misses: cs.Misses, Entries: cs.Entries}
+	}
+	return p
+}
+
+// ParseMethod resolves the CLI/API method spellings (case-insensitive).
+func ParseMethod(s string) (core.Method, bool) {
+	switch strings.ToLower(s) {
+	case "normal":
+		return core.Normal, true
+	case "greedy":
+		return core.Greedy, true
+	case "ilp-i", "ilpi", "ilp1":
+		return core.ILPI, true
+	case "ilp-ii", "ilpii", "ilp2":
+		return core.ILPII, true
+	case "dp":
+		return core.DP, true
+	case "marginal", "marginalgreedy":
+		return core.MarginalGreedy, true
+	case "greedycapped", "capped":
+		return core.GreedyCapped, true
+	}
+	return 0, false
+}
+
+// viewOf converts a queue snapshot (plus the method recorded at submit
+// time) to the wire form.
+func viewOf(snap jobqueue.Snapshot, method string) JobView {
+	v := JobView{
+		ID:        snap.ID,
+		State:     snap.State.String(),
+		Method:    method,
+		Submitted: snap.Submitted,
+	}
+	if !snap.Started.IsZero() {
+		t := snap.Started
+		v.Started = &t
+	}
+	if !snap.Finished.IsZero() {
+		t := snap.Finished
+		v.Finished = &t
+	}
+	if snap.Err != nil {
+		v.Error = snap.Err.Error()
+	}
+	switch snap.State {
+	case jobqueue.Running:
+		v.Phase = snap.Phase
+	case jobqueue.Done:
+		if rep, ok := snap.Result.(*ReportPayload); ok {
+			v.Report = rep
+		}
+	}
+	return v
+}

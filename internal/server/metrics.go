@@ -1,0 +1,152 @@
+// metrics.go is a dependency-free Prometheus text-format exposition for
+// pilfilld: gauges sampled at scrape time (queue depth, jobs by state,
+// cap-table cache counters), monotonic counters fed by the job queue's
+// OnFinish hook, and fixed-bucket histograms of solver CPU and wall time.
+package server
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"sync"
+
+	"pilfill/internal/cap"
+	"pilfill/internal/jobqueue"
+)
+
+// solveBuckets are the histogram upper bounds in seconds; +Inf is implicit.
+var solveBuckets = []float64{
+	0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1, 2.5, 5, 10, 30, 60,
+}
+
+// histogram is a fixed-bucket Prometheus histogram.
+type histogram struct {
+	mu     sync.Mutex
+	counts []int64 // per bucket, cumulative written at exposition time
+	sum    float64
+	count  int64
+}
+
+func newHistogram() *histogram {
+	return &histogram{counts: make([]int64, len(solveBuckets))}
+}
+
+func (h *histogram) observe(v float64) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	h.sum += v
+	h.count++
+	for i, ub := range solveBuckets {
+		if v <= ub {
+			h.counts[i]++
+		}
+	}
+}
+
+func (h *histogram) write(w io.Writer, name string) {
+	h.mu.Lock()
+	counts := append([]int64(nil), h.counts...)
+	sum, count := h.sum, h.count
+	h.mu.Unlock()
+	fmt.Fprintf(w, "# TYPE %s histogram\n", name)
+	for i, ub := range solveBuckets {
+		fmt.Fprintf(w, "%s_bucket{le=%q} %d\n", name, formatFloat(ub), counts[i])
+	}
+	fmt.Fprintf(w, "%s_bucket{le=\"+Inf\"} %d\n", name, count)
+	fmt.Fprintf(w, "%s_sum %s\n", name, formatFloat(sum))
+	fmt.Fprintf(w, "%s_count %d\n", name, count)
+}
+
+func formatFloat(v float64) string {
+	if v == math.Trunc(v) && math.Abs(v) < 1e15 {
+		return fmt.Sprintf("%d", int64(v))
+	}
+	return fmt.Sprintf("%g", v)
+}
+
+// metrics aggregates pilfilld's counters and histograms. Scrape-time gauges
+// read straight from the queue and the shared cap-table cache.
+type metrics struct {
+	mu       sync.Mutex
+	finished map[string]int64 // terminal jobs by final state
+
+	solveCPU  *histogram
+	solveWall *histogram
+}
+
+func newMetrics() *metrics {
+	return &metrics{
+		finished:  make(map[string]int64),
+		solveCPU:  newHistogram(),
+		solveWall: newHistogram(),
+	}
+}
+
+// jobFinished is wired to jobqueue.Config.OnFinish.
+func (m *metrics) jobFinished(snap jobqueue.Snapshot) {
+	m.mu.Lock()
+	m.finished[snap.State.String()]++
+	m.mu.Unlock()
+	if rep, ok := snap.Result.(*ReportPayload); ok && snap.State == jobqueue.Done {
+		m.solveCPU.observe(rep.SolveCPUMS / 1e3)
+		m.solveWall.observe(rep.WallMS / 1e3)
+	}
+}
+
+// write renders the full exposition.
+func (m *metrics) write(w io.Writer, stats jobqueue.Stats) {
+	fmt.Fprintf(w, "# HELP pilfilld_queue_depth Jobs waiting to run.\n")
+	fmt.Fprintf(w, "# TYPE pilfilld_queue_depth gauge\n")
+	fmt.Fprintf(w, "pilfilld_queue_depth %d\n", stats.Depth())
+	fmt.Fprintf(w, "# TYPE pilfilld_queue_capacity gauge\n")
+	fmt.Fprintf(w, "pilfilld_queue_capacity %d\n", stats.Capacity)
+	fmt.Fprintf(w, "# TYPE pilfilld_queue_workers gauge\n")
+	fmt.Fprintf(w, "pilfilld_queue_workers %d\n", stats.Workers)
+	fmt.Fprintf(w, "# TYPE pilfilld_draining gauge\n")
+	fmt.Fprintf(w, "pilfilld_draining %d\n", boolToInt(stats.Draining))
+
+	fmt.Fprintf(w, "# HELP pilfilld_jobs Current jobs by state.\n")
+	fmt.Fprintf(w, "# TYPE pilfilld_jobs gauge\n")
+	for s := jobqueue.Pending; s <= jobqueue.Cancelled; s++ {
+		fmt.Fprintf(w, "pilfilld_jobs{state=%q} %d\n", s.String(), stats.ByState[s])
+	}
+
+	fmt.Fprintf(w, "# TYPE pilfilld_jobs_submitted_total counter\n")
+	fmt.Fprintf(w, "pilfilld_jobs_submitted_total %d\n", stats.Submitted)
+	fmt.Fprintf(w, "# HELP pilfilld_jobs_rejected_total Submissions rejected by backpressure or drain.\n")
+	fmt.Fprintf(w, "# TYPE pilfilld_jobs_rejected_total counter\n")
+	fmt.Fprintf(w, "pilfilld_jobs_rejected_total %d\n", stats.Rejected)
+
+	m.mu.Lock()
+	states := make([]string, 0, len(m.finished))
+	for s := range m.finished {
+		states = append(states, s)
+	}
+	sort.Strings(states)
+	fmt.Fprintf(w, "# HELP pilfilld_jobs_finished_total Jobs reaching a terminal state.\n")
+	fmt.Fprintf(w, "# TYPE pilfilld_jobs_finished_total counter\n")
+	for _, s := range states {
+		fmt.Fprintf(w, "pilfilld_jobs_finished_total{state=%q} %d\n", s, m.finished[s])
+	}
+	m.mu.Unlock()
+
+	m.solveCPU.write(w, "pilfilld_solve_cpu_seconds")
+	m.solveWall.write(w, "pilfilld_solve_wall_seconds")
+
+	cs := cap.Shared.Stats()
+	fmt.Fprintf(w, "# HELP pilfilld_captable_cache_hits_total Shared cap-table cache hits (process-wide).\n")
+	fmt.Fprintf(w, "# TYPE pilfilld_captable_cache_hits_total counter\n")
+	fmt.Fprintf(w, "pilfilld_captable_cache_hits_total %d\n", cs.Hits)
+	fmt.Fprintf(w, "# TYPE pilfilld_captable_cache_misses_total counter\n")
+	fmt.Fprintf(w, "pilfilld_captable_cache_misses_total %d\n", cs.Misses)
+	fmt.Fprintf(w, "# TYPE pilfilld_captable_cache_entries gauge\n")
+	fmt.Fprintf(w, "pilfilld_captable_cache_entries %d\n", cs.Entries)
+}
+
+func boolToInt(b bool) int {
+	if b {
+		return 1
+	}
+	return 0
+}

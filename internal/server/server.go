@@ -1,0 +1,295 @@
+// Package server exposes fill synthesis as an HTTP service: jobs are
+// submitted to the bounded queue of internal/jobqueue, run the library's
+// session/solve pipeline under a cancellable context, and report progress,
+// results and Prometheus metrics.
+//
+// API:
+//
+//	POST   /v1/jobs       submit a job (DEF or named testcase + method);
+//	                      202 with the job id, 429 when the queue is full,
+//	                      503 while draining
+//	GET    /v1/jobs       list all jobs
+//	GET    /v1/jobs/{id}  job state, running phase, and the report when done
+//	DELETE /v1/jobs/{id}  cancel a pending or running job (409 if finished)
+//	GET    /healthz       200 "ok", 503 while draining
+//	GET    /metrics       Prometheus text exposition
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strings"
+	"sync"
+	"time"
+
+	"pilfill"
+	"pilfill/internal/jobqueue"
+	"pilfill/internal/layout"
+	"pilfill/internal/testcases"
+)
+
+// Config parameterizes a Server.
+type Config struct {
+	// Queue configures the underlying job queue (capacity, workers, default
+	// per-job timeout). The OnFinish hook is owned by the server's metrics
+	// and must be left nil.
+	Queue jobqueue.Config
+	// MaxBodyBytes bounds the request body (inline DEF can be large);
+	// default 64 MiB.
+	MaxBodyBytes int64
+	// TaskFactory translates a validated SubmitRequest into the task the
+	// queue runs. Nil uses the real fill-synthesis pipeline; tests substitute
+	// controllable tasks to exercise queue behavior deterministically.
+	TaskFactory func(req *SubmitRequest) (jobqueue.Task, error)
+}
+
+// Server is the pilfilld HTTP handler. Create with New; it owns its queue.
+type Server struct {
+	q       *jobqueue.Queue
+	mux     *http.ServeMux
+	metrics *metrics
+	factory func(req *SubmitRequest) (jobqueue.Task, error)
+
+	mu      sync.Mutex
+	methods map[string]string // job id -> method label, for JobView
+}
+
+// New builds the server and starts its queue workers.
+func New(cfg Config) *Server {
+	if cfg.MaxBodyBytes <= 0 {
+		cfg.MaxBodyBytes = 64 << 20
+	}
+	s := &Server{
+		metrics: newMetrics(),
+		factory: cfg.TaskFactory,
+		methods: make(map[string]string),
+	}
+	if s.factory == nil {
+		s.factory = DefaultTask
+	}
+	qcfg := cfg.Queue
+	qcfg.OnFinish = s.metrics.jobFinished
+	s.q = jobqueue.New(qcfg)
+
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/jobs", s.maxBody(cfg.MaxBodyBytes, s.handleSubmit))
+	mux.HandleFunc("GET /v1/jobs", s.handleList)
+	mux.HandleFunc("GET /v1/jobs/{id}", s.handleGet)
+	mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleCancel)
+	mux.HandleFunc("GET /healthz", s.handleHealth)
+	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	s.mux = mux
+	return s
+}
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+
+// Queue exposes the underlying queue (stats, direct submission in tests).
+func (s *Server) Queue() *jobqueue.Queue { return s.q }
+
+// Shutdown drains the queue under ctx's deadline: new submissions are
+// rejected with 503, running and queued jobs finish (or are cancelled when
+// ctx expires). The HTTP listener itself is the caller's to close — keep it
+// serving during the drain so clients can poll final job states.
+func (s *Server) Shutdown(ctx context.Context) error { return s.q.Shutdown(ctx) }
+
+func (s *Server) maxBody(limit int64, h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		r.Body = http.MaxBytesReader(w, r.Body, limit)
+		h(w, r)
+	}
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetEscapeHTML(false)
+	_ = enc.Encode(v)
+}
+
+func writeError(w http.ResponseWriter, status int, format string, args ...any) {
+	writeJSON(w, status, ErrorResponse{Error: fmt.Sprintf(format, args...)})
+}
+
+func (s *Server) methodLabel(id string) string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.methods[id]
+}
+
+func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	var req SubmitRequest
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, "bad request body: %v", err)
+		return
+	}
+	task, err := s.factory(&req)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	snap, err := s.q.Submit(task, jobqueue.SubmitOptions{
+		Timeout: time.Duration(req.TimeoutMS) * time.Millisecond,
+	})
+	switch {
+	case errors.Is(err, jobqueue.ErrQueueFull):
+		w.Header().Set("Retry-After", "1")
+		writeError(w, http.StatusTooManyRequests, "queue full, retry later")
+		return
+	case errors.Is(err, jobqueue.ErrDraining):
+		writeError(w, http.StatusServiceUnavailable, "server is draining")
+		return
+	case err != nil:
+		writeError(w, http.StatusInternalServerError, "%v", err)
+		return
+	}
+	s.mu.Lock()
+	s.methods[snap.ID] = req.Method
+	s.mu.Unlock()
+	writeJSON(w, http.StatusAccepted, viewOf(snap, req.Method))
+}
+
+func (s *Server) handleList(w http.ResponseWriter, r *http.Request) {
+	snaps := s.q.List()
+	resp := ListResponse{Jobs: make([]JobView, 0, len(snaps))}
+	for _, snap := range snaps {
+		v := viewOf(snap, s.methodLabel(snap.ID))
+		v.Report = nil // keep the listing light; fetch one job for the report
+		resp.Jobs = append(resp.Jobs, v)
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *Server) handleGet(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	snap, err := s.q.Get(id)
+	if errors.Is(err, jobqueue.ErrNotFound) {
+		writeError(w, http.StatusNotFound, "no job %q", id)
+		return
+	}
+	writeJSON(w, http.StatusOK, viewOf(snap, s.methodLabel(id)))
+}
+
+func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	snap, err := s.q.Cancel(id)
+	switch {
+	case errors.Is(err, jobqueue.ErrNotFound):
+		writeError(w, http.StatusNotFound, "no job %q", id)
+		return
+	case errors.Is(err, jobqueue.ErrFinished):
+		writeError(w, http.StatusConflict, "job %q already %s", id, snap.State)
+		return
+	}
+	writeJSON(w, http.StatusOK, viewOf(snap, s.methodLabel(id)))
+}
+
+func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
+	if s.q.Draining() {
+		writeJSON(w, http.StatusServiceUnavailable, map[string]string{"status": "draining"})
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	s.metrics.write(w, s.q.Stats())
+}
+
+// DefaultTask is the production task factory: it validates the request
+// up-front (so bad submissions fail with 400 instead of a Failed job) and
+// returns a task that loads the layout, prepares a session, and runs the
+// method under the job's context. Cancellation between phases is checked
+// explicitly; during the solve it propagates through Session.RunContext to
+// the tile loops and ILP node loops.
+func DefaultTask(req *SubmitRequest) (jobqueue.Task, error) {
+	m, ok := ParseMethod(req.Method)
+	if !ok {
+		return nil, fmt.Errorf("unknown method %q", req.Method)
+	}
+	if (req.Testcase == "") == (req.DEF == "") {
+		return nil, errors.New("exactly one of testcase and def must be set")
+	}
+	if req.Testcase != "" {
+		switch strings.ToUpper(req.Testcase) {
+		case "T1", "T2":
+		default:
+			return nil, fmt.Errorf("unknown testcase %q (want T1 or T2)", req.Testcase)
+		}
+	}
+	o := req.Options
+	if o.Window == 0 {
+		o.Window = 32
+	}
+	if o.R == 0 {
+		o.R = 4
+	}
+	if o.SlackDef == 0 {
+		o.SlackDef = 3
+	}
+	if o.SlackDef < 1 || o.SlackDef > 3 {
+		return nil, fmt.Errorf("slackdef %d out of range [1,3]", o.SlackDef)
+	}
+	reqCopy := *req // detach from the handler's request lifetime
+
+	return func(ctx context.Context, setPhase func(string)) (any, error) {
+		setPhase("load")
+		var l *layout.Layout
+		var err error
+		switch {
+		case reqCopy.Testcase != "":
+			switch strings.ToUpper(reqCopy.Testcase) {
+			case "T1":
+				l, err = pilfill.GenerateT1()
+			case "T2":
+				l, err = pilfill.GenerateT2()
+			}
+		case reqCopy.LEF != "":
+			l, err = pilfill.LoadLEFDEF(strings.NewReader(reqCopy.LEF), strings.NewReader(reqCopy.DEF))
+		default:
+			l, err = pilfill.LoadDEF(strings.NewReader(reqCopy.DEF))
+		}
+		if err != nil {
+			return nil, fmt.Errorf("load layout: %w", err)
+		}
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+
+		setPhase("prepare")
+		sess, err := pilfill.NewSession(l, pilfill.Options{
+			Window:       testcases.WindowNM(o.Window),
+			R:            o.R,
+			Rule:         pilfill.DefaultRuleT1T2(),
+			Weighted:     o.Weighted,
+			Def:          pilfill.SlackDef(o.SlackDef),
+			Seed:         o.Seed,
+			NetCap:       o.NetCapPS * 1e-12,
+			Workers:      o.Workers,
+			Grounded:     o.Grounded,
+			ILPNodeLimit: o.ILPNodeLimit,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("prepare session: %w", err)
+		}
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+
+		setPhase("solve")
+		rep, err := sess.RunContext(ctx, m)
+		if err != nil {
+			return nil, err
+		}
+		setPhase("report")
+		return BuildReport(sess, rep), nil
+	}, nil
+}

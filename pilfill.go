@@ -21,6 +21,7 @@
 package pilfill
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"strings"
@@ -219,7 +220,16 @@ type Report struct {
 
 // Run places the session's budget with the given method.
 func (s *Session) Run(m Method) (*Report, error) {
-	res, err := s.Engine.Run(m, s.Instances)
+	return s.RunContext(context.Background(), m)
+}
+
+// RunContext is Run with cancellation: the context is checked at every tile
+// boundary and inside the ILP branch-and-bound loops, so cancelling it (or
+// letting its deadline expire) stops the solver work promptly. The returned
+// error wraps ctx.Err(), so errors.Is(err, context.Canceled) and
+// errors.Is(err, context.DeadlineExceeded) discriminate the cause.
+func (s *Session) RunContext(ctx context.Context, m Method) (*Report, error) {
+	res, err := s.Engine.RunContext(ctx, m, s.Instances)
 	if err != nil {
 		return nil, fmt.Errorf("pilfill: %w", err)
 	}
@@ -243,11 +253,17 @@ func (s *Session) report(res *core.Result) *Report {
 // capacitance" flow). Tiles where the caps make the fill amount infeasible
 // fall back to a budget-respecting greedy, so Placed may trail Requested.
 func (s *Session) RunBudgeted(slackFraction float64) (*Report, error) {
+	return s.RunBudgetedContext(context.Background(), slackFraction)
+}
+
+// RunBudgetedContext is RunBudgeted with cancellation, under the same
+// contract as RunContext.
+func (s *Session) RunBudgetedContext(ctx context.Context, slackFraction float64) (*Report, error) {
 	if slackFraction < 0 {
 		return nil, fmt.Errorf("pilfill: negative slack fraction %g", slackFraction)
 	}
 	budgets := s.Engine.NetBudgets(slackFraction, 1e-18)
-	res, err := s.Engine.RunBudgeted(s.Instances, budgets)
+	res, err := s.Engine.RunBudgetedContext(ctx, s.Instances, budgets)
 	if err != nil {
 		return nil, fmt.Errorf("pilfill: %w", err)
 	}
@@ -260,7 +276,13 @@ func (s *Session) RunBudgeted(slackFraction float64) (*Report, error) {
 // toward the session's target. The session's precomputed fill budget is
 // ignored; MVDC derives its own, delay-feasible one.
 func (s *Session) RunMVDC(tileDelayBudget float64) (*Report, float64, error) {
-	r, err := s.Engine.RunMVDC(s.Grid, tileDelayBudget, s.Target, s.Opts.withDefaults().MaxDensity)
+	return s.RunMVDCContext(context.Background(), tileDelayBudget)
+}
+
+// RunMVDCContext is RunMVDC with cancellation, under the same contract as
+// RunContext.
+func (s *Session) RunMVDCContext(ctx context.Context, tileDelayBudget float64) (*Report, float64, error) {
+	r, err := s.Engine.RunMVDCContext(ctx, s.Grid, tileDelayBudget, s.Target, s.Opts.withDefaults().MaxDensity)
 	if err != nil {
 		return nil, 0, fmt.Errorf("pilfill: %w", err)
 	}
