@@ -1,8 +1,8 @@
 GO ?= go
 
-.PHONY: ci fmt vet build test race bench serve
+.PHONY: ci fmt vet build test race bench bench-solver bench-solver-short serve
 
-ci: fmt vet build test race
+ci: fmt vet build test race bench-solver-short
 
 fmt:
 	@out=$$(gofmt -l .); if [ -n "$$out" ]; then \
@@ -22,6 +22,17 @@ race:
 
 bench:
 	$(GO) test -bench 'EnginePreprocess' -benchtime 10x -run '^$$' .
+
+# Solver-core comparison (current vs row-based baseline): runs the
+# BenchmarkILPI/BenchmarkILPII/BenchmarkSimplex microbenchmarks and writes
+# the node/pivot work comparison to BENCH_solver.json, failing below the 2x
+# work-reduction floor. bench-solver-short is the single-case CI variant.
+bench-solver:
+	$(GO) test -bench 'ILPI$$|ILPII$$|Simplex' -benchtime 2x -run '^$$' .
+	$(GO) run ./cmd/benchsolver -check -o BENCH_solver.json
+
+bench-solver-short:
+	$(GO) run ./cmd/benchsolver -short -check -o BENCH_solver.json
 
 # Run the fill-synthesis daemon with development-friendly settings.
 serve:

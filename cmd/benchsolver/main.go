@@ -1,0 +1,292 @@
+// Command benchsolver benchmarks the ILP solver core and writes the results
+// as JSON:
+//
+//	benchsolver -o BENCH_solver.json          # full case set
+//	benchsolver -short                        # single case (CI)
+//	benchsolver -check                        # exit 1 unless both >= 2x
+//
+// For every benchmark case it builds the harness's tile instances and solves
+// each tile's ILP-I and ILP-II program twice: with the current solver
+// (bounded-variable simplex, reusable workspace, greedy incumbent seeding,
+// ILP-I warm start) and with the row-based baseline that predates those
+// optimizations (fresh tableau per node, bounds encoded as constraint rows,
+// no incumbent). Both paths must agree on every status and objective — any
+// mismatch is a solver bug and fails the run — and the "work" of each path
+// is summarized as B&B nodes x LP pivots.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"math"
+	"os"
+	"time"
+
+	"pilfill/internal/core"
+	"pilfill/internal/density"
+	"pilfill/internal/harness"
+	"pilfill/internal/ilp"
+	"pilfill/internal/layout"
+	"pilfill/internal/testcases"
+)
+
+func fail(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "benchsolver: "+format+"\n", args...)
+	os.Exit(1)
+}
+
+// benchCase names one harness grid point.
+type benchCase struct {
+	Testcase string
+	W, R     int
+}
+
+func (c benchCase) name() string { return fmt.Sprintf("%s/%d/%d", c.Testcase, c.W, c.R) }
+
+// PathStats is the measured work of one solver path over a case.
+type PathStats struct {
+	Nodes  int   `json:"nodes"`
+	Pivots int   `json:"pivots"`
+	NS     int64 `json:"ns"`
+}
+
+func (s PathStats) work() float64 { return float64(s.Nodes) * float64(s.Pivots) }
+
+// Comparison is one solver family (ILP-I or ILP-II) on one case.
+type Comparison struct {
+	New           PathStats `json:"new"`
+	Baseline      PathStats `json:"baseline"`
+	WorkReduction float64   `json:"work_reduction"` // baseline nodes*pivots over new
+}
+
+// CaseResult is the JSON record of one benchmark case.
+type CaseResult struct {
+	Case  string     `json:"case"`
+	Tiles int        `json:"tiles"`
+	ILPI  Comparison `json:"ilp1"`
+	ILPII Comparison `json:"ilp2"`
+}
+
+// Output is the BENCH_solver.json document.
+type Output struct {
+	Generated          string       `json:"generated"`
+	Short              bool         `json:"short"`
+	Cases              []CaseResult `json:"cases"`
+	ILPIWorkReduction  float64      `json:"ilp1_work_reduction"` // worst case over Cases
+	ILPIIWorkReduction float64      `json:"ilp2_work_reduction"` // worst case over Cases
+}
+
+// buildInstances constructs the tile instances of one harness grid point the
+// same way harness.RunRow does before solving.
+func buildInstances(c benchCase) ([]*core.Instance, error) {
+	var spec testcases.Spec
+	switch c.Testcase {
+	case "T1":
+		spec = testcases.T1()
+	case "T2":
+		spec = testcases.T2()
+	default:
+		return nil, fmt.Errorf("unknown testcase %q", c.Testcase)
+	}
+	l, err := testcases.Generate(spec)
+	if err != nil {
+		return nil, err
+	}
+	dis, err := layout.NewDissection(l.Die, testcases.WindowNM(c.W), c.R)
+	if err != nil {
+		return nil, err
+	}
+	eng, err := core.NewEngine(l, dis, spec.Rule, core.Config{Seed: 1})
+	if err != nil {
+		return nil, err
+	}
+	grid := density.NewGrid(l, dis, eng.Occ, 0)
+	budget, _, err := density.MonteCarlo(grid, density.MonteCarloOptions{
+		TargetMin:  harness.TargetMinDensity,
+		MaxDensity: harness.MaxDensity,
+		Seed:       1,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return eng.Instances(budget), nil
+}
+
+// tileSolve solves one tile program along one path and returns its solution.
+type tileSolve func(in *core.Instance) (*ilp.Solution, error)
+
+// runPath executes solve over every instance, accumulating work counters.
+func runPath(instances []*core.Instance, solve tileSolve) (PathStats, []*ilp.Solution, error) {
+	var st PathStats
+	sols := make([]*ilp.Solution, len(instances))
+	start := time.Now()
+	for i, in := range instances {
+		sol, err := solve(in)
+		if err != nil {
+			return st, nil, err
+		}
+		if sol != nil {
+			st.Nodes += sol.Nodes
+			st.Pivots += sol.LPPivots
+		}
+		sols[i] = sol
+	}
+	st.NS = time.Since(start).Nanoseconds()
+	return st, sols, nil
+}
+
+// checkExact verifies the two paths agree tile by tile: identical statuses
+// and (for solved tiles) objectives equal within tolerance. Assignments may
+// differ only between equal-cost optima, so they are not compared.
+func checkExact(caseName, family string, newSols, baseSols []*ilp.Solution) error {
+	for i := range newSols {
+		a, b := newSols[i], baseSols[i]
+		if (a == nil) != (b == nil) {
+			return fmt.Errorf("%s %s tile %d: trivial/non-trivial mismatch", caseName, family, i)
+		}
+		if a == nil {
+			continue
+		}
+		if a.Status != b.Status {
+			return fmt.Errorf("%s %s tile %d: status %v (new) vs %v (baseline)",
+				caseName, family, i, a.Status, b.Status)
+		}
+		if a.Status != ilp.Optimal && a.Status != ilp.Feasible {
+			continue
+		}
+		diff := math.Abs(a.Objective - b.Objective)
+		if diff > 1e-6*(1+math.Abs(b.Objective)) {
+			return fmt.Errorf("%s %s tile %d: objective %g (new) vs %g (baseline)",
+				caseName, family, i, a.Objective, b.Objective)
+		}
+	}
+	return nil
+}
+
+func reduction(c *Comparison) {
+	c.WorkReduction = c.Baseline.work() / math.Max(c.New.work(), 1)
+}
+
+func runCase(c benchCase) (CaseResult, error) {
+	instances, err := buildInstances(c)
+	if err != nil {
+		return CaseResult{}, err
+	}
+	res := CaseResult{Case: c.name(), Tiles: len(instances)}
+	opts := &ilp.Options{MaxNodes: 20000}
+
+	// ILP-I: new = seeded + warm-started (as SolveILPI configures it),
+	// baseline = row-based, no incumbent.
+	newI, newISols, err := runPath(instances, func(in *core.Instance) (*ilp.Solution, error) {
+		p, inc := core.BuildILPI(in)
+		if p == nil {
+			return nil, nil
+		}
+		o := *opts
+		o.Incumbent = inc
+		o.WarmStart = true
+		return ilp.Solve(p, &o)
+	})
+	if err != nil {
+		return res, err
+	}
+	baseI, baseISols, err := runPath(instances, func(in *core.Instance) (*ilp.Solution, error) {
+		p, _ := core.BuildILPI(in)
+		if p == nil {
+			return nil, nil
+		}
+		return ilp.SolveRowBased(p, opts)
+	})
+	if err != nil {
+		return res, err
+	}
+	if err := checkExact(c.name(), "ILP-I", newISols, baseISols); err != nil {
+		return res, err
+	}
+	res.ILPI = Comparison{New: newI, Baseline: baseI}
+	reduction(&res.ILPI)
+
+	// ILP-II: new = seeded (marginal-greedy incumbent, no warm start),
+	// baseline = row-based, no incumbent.
+	newII, newIISols, err := runPath(instances, func(in *core.Instance) (*ilp.Solution, error) {
+		g := core.BuildILPII(in, nil)
+		if g == nil {
+			return nil, nil
+		}
+		o := *opts
+		o.Incumbent = g.Incumbent
+		return ilp.Solve(g.P, &o)
+	})
+	if err != nil {
+		return res, err
+	}
+	baseII, baseIISols, err := runPath(instances, func(in *core.Instance) (*ilp.Solution, error) {
+		g := core.BuildILPII(in, nil)
+		if g == nil {
+			return nil, nil
+		}
+		return ilp.SolveRowBased(g.P, opts)
+	})
+	if err != nil {
+		return res, err
+	}
+	if err := checkExact(c.name(), "ILP-II", newIISols, baseIISols); err != nil {
+		return res, err
+	}
+	res.ILPII = Comparison{New: newII, Baseline: baseII}
+	reduction(&res.ILPII)
+	return res, nil
+}
+
+func main() {
+	var (
+		out   = flag.String("o", "BENCH_solver.json", "output file, - for stdout")
+		short = flag.Bool("short", false, "single-case run for CI")
+		check = flag.Bool("check", false, "exit 1 unless both families reach a 2x work reduction")
+	)
+	flag.Parse()
+
+	cases := []benchCase{{"T1", 20, 8}, {"T1", 32, 4}, {"T2", 20, 8}}
+	if *short {
+		cases = cases[:1]
+	}
+
+	doc := Output{
+		Generated:          time.Now().UTC().Format(time.RFC3339),
+		Short:              *short,
+		ILPIWorkReduction:  math.Inf(1),
+		ILPIIWorkReduction: math.Inf(1),
+	}
+	for _, c := range cases {
+		res, err := runCase(c)
+		if err != nil {
+			fail("%v", err)
+		}
+		doc.Cases = append(doc.Cases, res)
+		doc.ILPIWorkReduction = math.Min(doc.ILPIWorkReduction, res.ILPI.WorkReduction)
+		doc.ILPIIWorkReduction = math.Min(doc.ILPIIWorkReduction, res.ILPII.WorkReduction)
+		fmt.Fprintf(os.Stderr, "%-10s  ILP-I %5d nodes %7d pivots (baseline %5d/%7d, %.2fx)  ILP-II %5d/%7d (baseline %5d/%7d, %.2fx)\n",
+			res.Case,
+			res.ILPI.New.Nodes, res.ILPI.New.Pivots,
+			res.ILPI.Baseline.Nodes, res.ILPI.Baseline.Pivots, res.ILPI.WorkReduction,
+			res.ILPII.New.Nodes, res.ILPII.New.Pivots,
+			res.ILPII.Baseline.Nodes, res.ILPII.Baseline.Pivots, res.ILPII.WorkReduction)
+	}
+
+	enc, err := json.MarshalIndent(&doc, "", "  ")
+	if err != nil {
+		fail("%v", err)
+	}
+	enc = append(enc, '\n')
+	if *out == "-" {
+		os.Stdout.Write(enc)
+	} else if err := os.WriteFile(*out, enc, 0o644); err != nil {
+		fail("%v", err)
+	}
+
+	if *check && (doc.ILPIWorkReduction < 2 || doc.ILPIIWorkReduction < 2) {
+		fail("work reduction below 2x: ILP-I %.2fx, ILP-II %.2fx",
+			doc.ILPIWorkReduction, doc.ILPIIWorkReduction)
+	}
+}

@@ -291,6 +291,7 @@ type Result struct {
 	Phases   PhaseTimes // preprocess/solve/evaluate/place breakdown
 	Tiles    int        // instances solved
 	ILPNodes int        // total branch-and-bound nodes (ILP methods)
+	LPPivots int        // total simplex pivots across all node LPs (ILP methods)
 }
 
 // ilpOpts copies the configured branch-and-bound limits and, when the
@@ -309,33 +310,33 @@ func (e *Engine) ilpOpts(ctx context.Context) *ilp.Options {
 // in any order — or concurrently — with identical results. A cancelled
 // context surfaces as the context's error; for the ILP methods the
 // branch-and-bound search itself is interrupted mid-tile.
-func (e *Engine) solveInstance(ctx context.Context, method Method, in *Instance) (Assignment, int, error) {
+func (e *Engine) solveInstance(ctx context.Context, method Method, in *Instance) (Assignment, int, int, error) {
 	if err := ctx.Err(); err != nil {
-		return nil, 0, err
+		return nil, 0, 0, err
 	}
 	switch method {
 	case Normal:
 		seed := e.Cfg.Seed ^ (int64(in.I)*1_000_003+int64(in.J))*2_654_435_761
-		return SolveNormal(in, rand.New(rand.NewSource(seed))), 0, nil
+		return SolveNormal(in, rand.New(rand.NewSource(seed))), 0, 0, nil
 	case Greedy:
-		return SolveGreedy(in), 0, nil
+		return SolveGreedy(in), 0, 0, nil
 	case MarginalGreedy:
-		return SolveMarginalGreedy(in), 0, nil
+		return SolveMarginalGreedy(in), 0, 0, nil
 	case GreedyCapped:
-		return e.solveGreedyCapped(in), 0, nil
+		return e.solveGreedyCapped(in), 0, 0, nil
 	case DP:
 		a, err := SolveDPContext(ctx, in)
-		return a, 0, err
+		return a, 0, 0, err
 	case ILPI:
 		a, sol, err := SolveILPI(in, e.ilpOpts(ctx))
 		if ctxErr := ctx.Err(); ctxErr != nil {
-			return nil, 0, ctxErr
+			return nil, 0, 0, ctxErr
 		}
-		nodes := 0
+		nodes, pivots := 0, 0
 		if sol != nil {
-			nodes = sol.Nodes
+			nodes, pivots = sol.Nodes, sol.LPPivots
 		}
-		return a, nodes, err
+		return a, nodes, pivots, err
 	case ILPII:
 		var nc *NetCap
 		if e.Cfg.NetCap > 0 {
@@ -343,15 +344,15 @@ func (e *Engine) solveInstance(ctx context.Context, method Method, in *Instance)
 		}
 		a, sol, err := SolveILPII(in, e.ilpOpts(ctx), nc)
 		if ctxErr := ctx.Err(); ctxErr != nil {
-			return nil, 0, ctxErr
+			return nil, 0, 0, ctxErr
 		}
-		nodes := 0
+		nodes, pivots := 0, 0
 		if sol != nil {
-			nodes = sol.Nodes
+			nodes, pivots = sol.Nodes, sol.LPPivots
 		}
-		return a, nodes, err
+		return a, nodes, pivots, err
 	default:
-		return nil, 0, fmt.Errorf("core: unknown method %v", method)
+		return nil, 0, 0, fmt.Errorf("core: unknown method %v", method)
 	}
 }
 
@@ -377,16 +378,17 @@ func (e *Engine) RunContext(ctx context.Context, method Method, instances []*Ins
 	start := time.Now()
 
 	type outcome struct {
-		a     Assignment
-		nodes int
-		dur   time.Duration // this instance's solve time
-		err   error
+		a      Assignment
+		nodes  int
+		pivots int
+		dur    time.Duration // this instance's solve time
+		err    error
 	}
 	outs := make([]outcome, len(instances))
 	solveOne := func(i int) {
 		solveStart := time.Now()
-		a, nodes, err := e.solveInstance(ctx, method, instances[i])
-		outs[i] = outcome{a, nodes, time.Since(solveStart), err}
+		a, nodes, pivots, err := e.solveInstance(ctx, method, instances[i])
+		outs[i] = outcome{a, nodes, pivots, time.Since(solveStart), err}
 	}
 	if workers := e.Cfg.Workers; workers > 1 && len(instances) > 1 {
 		fanOut(workers, len(instances), solveOne)
@@ -406,6 +408,7 @@ func (e *Engine) RunContext(ctx context.Context, method Method, instances []*Ins
 			return nil, fmt.Errorf("core: %v run interrupted: %w", method, err)
 		}
 		res.ILPNodes += o.nodes
+		res.LPPivots += o.pivots
 		res.Phases.Solve += o.dur
 		placed := 0
 		for _, m := range o.a {
@@ -466,40 +469,54 @@ func (e *Engine) accumulatePerNet(perNet []float64, in *Instance, a Assignment) 
 	return nil
 }
 
+// freeRowsCenterOut scans a column's free rows and orders them nearest the
+// gap's vertical center first (index tie-break). This is the placement
+// order of place; buildInstance memoizes it per column so repeated runs over
+// the same instances skip the occupancy scan and sort.
+func (e *Engine) freeRowsCenterOut(cv *ColumnVar) []int {
+	col := cv.Col
+	free := make([]int, 0, col.RowHi-col.RowLo)
+	for r := col.RowLo; r < col.RowHi; r++ {
+		if !e.Occ.Blocked(col.Col, r) {
+			free = append(free, r)
+		}
+	}
+	center := (col.YLo + col.YHi) / 2
+	sort.Slice(free, func(a, b int) bool {
+		da := absI64(e.Grid.SiteY(free[a]) + e.Rule.Feature/2 - center)
+		db := absI64(e.Grid.SiteY(free[b]) + e.Rule.Feature/2 - center)
+		if da != db {
+			return da < db
+		}
+		return free[a] < free[b]
+	})
+	return free
+}
+
 // place materializes an assignment into fill features: the m features of a
 // column take the free rows nearest the gap's vertical center (the block
-// abstraction of the capacitance model grows symmetrically). An assignment
-// exceeding a column's free sites indicates a capacity-extraction bug and is
-// reported as an error.
+// abstraction of the capacitance model grows symmetrically). Columns built
+// by buildInstance carry their center-out free-row order in
+// ColumnVar.FreeRows; hand-built test instances without it fall back to a
+// fresh occupancy scan. An assignment exceeding a column's free sites
+// indicates a capacity-extraction bug and is reported as an error.
 func (e *Engine) place(fs *layout.FillSet, in *Instance, a Assignment) error {
 	for k, m := range a {
 		if m <= 0 {
 			continue
 		}
 		cv := &in.Columns[k]
-		col := cv.Col
-		free := make([]int, 0, col.RowHi-col.RowLo)
-		for r := col.RowLo; r < col.RowHi; r++ {
-			if !e.Occ.Blocked(col.Col, r) {
-				free = append(free, r)
-			}
+		free := cv.FreeRows
+		if free == nil {
+			free = e.freeRowsCenterOut(cv)
 		}
 		if m > len(free) {
 			return fmt.Errorf("core: column %d assignment %d exceeds %d free sites", k, m, len(free))
 		}
-		center := (col.YLo + col.YHi) / 2
-		sort.Slice(free, func(a, b int) bool {
-			da := absI64(e.Grid.SiteY(free[a]) + e.Rule.Feature/2 - center)
-			db := absI64(e.Grid.SiteY(free[b]) + e.Rule.Feature/2 - center)
-			if da != db {
-				return da < db
-			}
-			return free[a] < free[b]
-		})
 		rows := append([]int(nil), free[:m]...)
 		sort.Ints(rows)
 		for _, r := range rows {
-			fs.Fills = append(fs.Fills, layout.Fill{Col: col.Col, Row: r})
+			fs.Fills = append(fs.Fills, layout.Fill{Col: cv.Col.Col, Row: r})
 		}
 	}
 	return nil

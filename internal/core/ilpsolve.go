@@ -3,6 +3,7 @@ package core
 import (
 	"fmt"
 	"math"
+	"sort"
 
 	"pilfill/internal/ilp"
 	"pilfill/internal/lp"
@@ -32,16 +33,28 @@ func normalize(v []float64, rhs *float64) {
 	}
 }
 
-// SolveILPI is the paper's ILP-I (Eqs 10–14): one bounded integer variable
-// m_k per slack column, the Eq 6 *linearized* capacitance folded into a
-// per-feature cost, and the fill total as an equality. The linearization is
-// exactly the method's weakness the paper demonstrates: the solver optimizes
-// the linear surrogate, and the resulting placement is then measured with
-// the exact model (sometimes losing even to Normal fill).
-func SolveILPI(in *Instance, opts *ilp.Options) (Assignment, *ilp.Solution, error) {
+// withIncumbent returns a copy of opts (never mutating the caller's) with
+// the incumbent installed. The solver validates the incumbent itself, so
+// heuristic assignments can be passed without re-checking.
+func withIncumbent(opts *ilp.Options, inc []float64) *ilp.Options {
+	var o ilp.Options
+	if opts != nil {
+		o = *opts
+	}
+	o.Incumbent = inc
+	return &o
+}
+
+// BuildILPI constructs the ILP-I program for an instance together with a
+// feasible integer incumbent used to warm-start branch-and-bound. The
+// incumbent pours fill into columns in ascending per-feature cost order —
+// for ILP-I's linear objective with a single Σ m_k = F row and box bounds
+// this is in fact optimal, so the seeded search typically proves optimality
+// at the root node. Returns nils for trivial (empty) instances.
+func BuildILPI(in *Instance) (*ilp.Problem, []float64) {
 	k := len(in.Columns)
 	if k == 0 || in.F == 0 {
-		return make(Assignment, k), &ilp.Solution{Status: ilp.Optimal}, nil
+		return nil, nil
 	}
 	p := &ilp.Problem{
 		NumVars:   k,
@@ -58,14 +71,59 @@ func SolveILPI(in *Instance, opts *ilp.Options) (Assignment, *ilp.Solution, erro
 	}
 	normalize(p.Objective, nil)
 	p.Constraints = []lp.Constraint{{Coeffs: sum, Op: lp.EQ, RHS: float64(in.F)}}
-	sol, err := ilp.Solve(p, opts)
+
+	// Incumbent: cheapest-slope-first greedy (normalization preserves the
+	// order). Index tie-break keeps it deterministic.
+	order := make([]int, k)
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(a, b int) bool {
+		oa, ob := order[a], order[b]
+		if p.Objective[oa] != p.Objective[ob] {
+			return p.Objective[oa] < p.Objective[ob]
+		}
+		return oa < ob
+	})
+	inc := make([]float64, k)
+	remaining := in.F
+	for _, i := range order {
+		if remaining == 0 {
+			break
+		}
+		take := in.Columns[i].MaxM
+		if take > remaining {
+			take = remaining
+		}
+		inc[i] = float64(take)
+		remaining -= take
+	}
+	return p, inc
+}
+
+// SolveILPI is the paper's ILP-I (Eqs 10–14): one bounded integer variable
+// m_k per slack column, the Eq 6 *linearized* capacitance folded into a
+// per-feature cost, and the fill total as an equality. The linearization is
+// exactly the method's weakness the paper demonstrates: the solver optimizes
+// the linear surrogate, and the resulting placement is then measured with
+// the exact model (sometimes losing even to Normal fill).
+func SolveILPI(in *Instance, opts *ilp.Options) (Assignment, *ilp.Solution, error) {
+	p, inc := BuildILPI(in)
+	if p == nil {
+		return make(Assignment, len(in.Columns)), &ilp.Solution{Status: ilp.Optimal}, nil
+	}
+	o := withIncumbent(opts, inc)
+	// The greedy incumbent IS the relaxation's optimal vertex for ILP-I's
+	// linear objective, so warm-starting the node LPs from it pays off.
+	o.WarmStart = true
+	sol, err := ilp.Solve(p, o)
 	if err != nil {
 		return nil, nil, fmt.Errorf("core: ILP-I: %w", err)
 	}
 	if sol.Status != ilp.Optimal && sol.Status != ilp.Feasible {
 		return nil, sol, fmt.Errorf("core: ILP-I: solver returned %v", sol.Status)
 	}
-	a := make(Assignment, k)
+	a := make(Assignment, len(in.Columns))
 	for i := range a {
 		a[i] = int(sol.X[i] + 0.5)
 	}
@@ -95,40 +153,92 @@ func (nc *NetCap) budgetFor(net int) float64 {
 	return nc.MaxAddedDelay
 }
 
-// SolveILPII is the paper's ILP-II (Eqs 16–23): the fill count of each
-// attributed column is expanded into binary indicator variables m_{k,n}
-// (exactly one n per column, Eq 18–19), so the exact lookup-table cost
-// f(n, d_k) enters the objective as constants (Eq 20). Unattributed (free)
-// columns keep a single zero-cost bounded integer — an exact and much
-// smaller reformulation, since their cost curve is identically zero.
+// ilpiiVars records where a column's variables live in the ILP-II program:
+// either a run of MaxM+1 binary indicators or a single bounded integer for
+// free (unattributed) columns.
+type ilpiiVars struct {
+	base  int // first variable index
+	count int // number of indicators (MaxM+1), or 1 for a free integer
+	free  bool
+}
+
+// ILPIIProgram is a built ILP-II instance: the MILP, the variable layout
+// needed to decode its solutions back into an Assignment, and a heuristic
+// incumbent for warm-starting. The incumbent comes from SolveMarginalGreedy
+// — provably optimal for the convex floating-fill cost curves, so the
+// seeded search usually proves optimality at the root — but it ignores any
+// per-net delay-cap rows; the solver validates it and silently drops it
+// when a cap row rejects it.
+type ILPIIProgram struct {
+	P         *ilp.Problem
+	Incumbent []float64
+	vars      []ilpiiVars
+	k         int
+}
+
+// Decode maps a solution vector of P back to a per-column fill Assignment.
+func (g *ILPIIProgram) Decode(x []float64) Assignment {
+	a := make(Assignment, g.k)
+	for i, v := range g.vars {
+		if v.free {
+			a[i] = int(x[v.base] + 0.5)
+			continue
+		}
+		for n := 0; n < v.count; n++ {
+			if x[v.base+n] > 0.5 {
+				a[i] = n
+				break
+			}
+		}
+	}
+	return a
+}
+
+// encode maps an Assignment to a solution vector of P (the inverse of
+// Decode), used to express the greedy incumbent in indicator variables.
+func (g *ILPIIProgram) encode(a Assignment) []float64 {
+	x := make([]float64, g.P.NumVars)
+	for i, v := range g.vars {
+		if v.free {
+			x[v.base] = float64(a[i])
+		} else {
+			x[v.base+a[i]] = 1
+		}
+	}
+	return x
+}
+
+// BuildILPII constructs the ILP-II program (Eqs 16–23) for an instance: the
+// fill count of each attributed column is expanded into binary indicator
+// variables m_{k,n} (exactly one n per column, Eq 18–19), so the exact
+// lookup-table cost f(n, d_k) enters the objective as constants (Eq 20).
+// Unattributed (free) columns keep a single zero-cost bounded integer — an
+// exact and much smaller reformulation, since their cost curve is
+// identically zero.
 //
 // One deviation from the printed formulation, noted in DESIGN.md: Eq 19 as
 // published sums n = 1..C_k, which would force every column to hold fill;
 // we include the n = 0 indicator so columns may stay empty.
 //
 // If netCap is non-nil with a positive bound, extra rows limit each net's
-// total added unweighted delay inside the tile.
-func SolveILPII(in *Instance, opts *ilp.Options, netCap *NetCap) (Assignment, *ilp.Solution, error) {
+// total added unweighted delay inside the tile. Returns nil for trivial
+// (empty) instances.
+func BuildILPII(in *Instance, netCap *NetCap) *ILPIIProgram {
 	k := len(in.Columns)
 	if k == 0 || in.F == 0 {
-		return make(Assignment, k), &ilp.Solution{Status: ilp.Optimal}, nil
+		return nil
 	}
 	// Variable layout: first the binary expansions of costed columns, then
 	// one integer per free column.
-	type colVars struct {
-		base  int // first variable index
-		count int // number of binaries (MaxM+1), or 1 for a free integer
-		free  bool
-	}
-	vars := make([]colVars, k)
+	vars := make([]ilpiiVars, k)
 	nv := 0
 	for i := range in.Columns {
 		cv := &in.Columns[i]
 		if cv.CostExact == nil {
-			vars[i] = colVars{base: nv, count: 1, free: true}
+			vars[i] = ilpiiVars{base: nv, count: 1, free: true}
 			nv++
 		} else {
-			vars[i] = colVars{base: nv, count: cv.MaxM + 1}
+			vars[i] = ilpiiVars{base: nv, count: cv.MaxM + 1}
 			nv += cv.MaxM + 1
 		}
 	}
@@ -151,11 +261,11 @@ func SolveILPII(in *Instance, opts *ilp.Options, netCap *NetCap) (Assignment, *i
 		oneRow := make([]float64, v.base+v.count)
 		for n := 0; n <= cv.MaxM; n++ {
 			j := v.base + n
-			// Declared Integer, not Binary: the Σ_n m_{k,n} = 1 row already
-			// bounds each indicator to [0,1], so the explicit <= 1 rows a
-			// Binary declaration would add are redundant and would double
-			// the tableau size.
+			// Declared Integer with a native upper bound of 1 (equivalent to
+			// Binary; the bounded-variable simplex carries bounds for free,
+			// no constraint rows are added either way).
 			p.VarTypes[j] = ilp.Integer
+			p.Upper[j] = 1
 			p.Objective[j] = cv.costAt(n)
 			fillRow[j] = float64(n)
 			oneRow[j] = 1
@@ -202,26 +312,24 @@ func SolveILPII(in *Instance, opts *ilp.Options, netCap *NetCap) (Assignment, *i
 		}
 	}
 
-	sol, err := ilp.Solve(p, opts)
+	g := &ILPIIProgram{P: p, vars: vars, k: k}
+	g.Incumbent = g.encode(SolveMarginalGreedy(in))
+	return g
+}
+
+// SolveILPII is the paper's ILP-II: BuildILPII's program solved to proven
+// optimality, warm-started with the marginal-greedy incumbent.
+func SolveILPII(in *Instance, opts *ilp.Options, netCap *NetCap) (Assignment, *ilp.Solution, error) {
+	g := BuildILPII(in, netCap)
+	if g == nil {
+		return make(Assignment, len(in.Columns)), &ilp.Solution{Status: ilp.Optimal}, nil
+	}
+	sol, err := ilp.Solve(g.P, withIncumbent(opts, g.Incumbent))
 	if err != nil {
 		return nil, nil, fmt.Errorf("core: ILP-II: %w", err)
 	}
 	if sol.Status != ilp.Optimal && sol.Status != ilp.Feasible {
 		return nil, sol, fmt.Errorf("core: ILP-II: solver returned %v", sol.Status)
 	}
-	a := make(Assignment, k)
-	for i := range in.Columns {
-		v := vars[i]
-		if v.free {
-			a[i] = int(sol.X[v.base] + 0.5)
-			continue
-		}
-		for n := 0; n < v.count; n++ {
-			if sol.X[v.base+n] > 0.5 {
-				a[i] = n
-				break
-			}
-		}
-	}
-	return a, sol, nil
+	return g.Decode(sol.X), sol, nil
 }

@@ -66,6 +66,13 @@ type ColumnVar struct {
 	// per-net delay caps agree with Evaluate. Equal to RLow/RHigh when
 	// crosstalk-aware costing is off.
 	REffLow, REffHigh float64
+
+	// FreeRows lists the column's free site rows nearest the gap's vertical
+	// center first — the order place consumes them in. Memoized at instance
+	// construction (occupancy never changes between build and placement) so
+	// repeated runs over the same instances skip the per-run occupancy scan
+	// and sort; nil (hand-built test instances) makes place re-scan.
+	FreeRows []int
 }
 
 // costAt returns CostExact[m] handling nil (free) columns.
@@ -228,6 +235,7 @@ func (e *Engine) buildInstance(i, j int, want int) *Instance {
 			}
 		}
 		if cv.MaxM > 0 {
+			cv.FreeRows = e.freeRowsCenterOut(&cv)
 			in.Columns = append(in.Columns, cv)
 		}
 	}

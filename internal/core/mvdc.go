@@ -279,6 +279,7 @@ func (e *Engine) RunBudgetedContext(ctx context.Context, instances []*Instance, 
 		a, sol, err := SolveILPII(in, e.ilpOpts(ctx), &NetCap{PerNet: perTile})
 		if sol != nil {
 			res.ILPNodes += sol.Nodes
+			res.LPPivots += sol.LPPivots
 		}
 		if ctxErr := ctx.Err(); ctxErr != nil {
 			return nil, fmt.Errorf("core: budgeted run interrupted: %w", ctxErr)

@@ -37,6 +37,11 @@ type Cell struct {
 	// are comparable. Wall is the end-to-end run duration.
 	CPU  time.Duration
 	Wall time.Duration
+	// Nodes and Pivots count branch-and-bound nodes and simplex pivots for
+	// the ILP methods (zero for the others) — the work measure tracked by
+	// the solver benchmarks.
+	Nodes  int
+	Pivots int
 }
 
 // Row is one table row: testcase/W/r and the four methods.
@@ -123,7 +128,7 @@ func RunRow(caseName string, w, r int, weighted bool) (*Row, error) {
 		if weighted {
 			tau = res.Weighted
 		}
-		return Cell{Tau: tau, CPU: res.CPU, Wall: res.Wall}, res, nil
+		return Cell{Tau: tau, CPU: res.CPU, Wall: res.Wall, Nodes: res.ILPNodes, Pivots: res.LPPivots}, res, nil
 	}
 	var res *core.Result
 	if row.Normal, res, err = run(core.Normal); err != nil {
@@ -172,7 +177,16 @@ func PrintTable(w io.Writer, title string, rows []*Row) {
 			r.ILPII.Tau*1e12, ms(r.ILPII.CPU),
 			r.Greedy.Tau*1e12, ms(r.Greedy.CPU))
 	}
+	var n1, p1, n2, p2 int
+	for _, r := range rows {
+		n1 += r.ILPI.Nodes
+		p1 += r.ILPI.Pivots
+		n2 += r.ILPII.Nodes
+		p2 += r.ILPII.Pivots
+	}
 	fmt.Fprintf(w, "(τ in ps, CPU in ms solver-only; all methods place identical fill per tile)\n")
+	fmt.Fprintf(w, "solver work: ILP-I %d nodes / %d pivots, ILP-II %d nodes / %d pivots\n",
+		n1, p1, n2, p2)
 }
 
 func ms(d time.Duration) float64 { return float64(d) / 1e6 }

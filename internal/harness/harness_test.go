@@ -26,8 +26,11 @@ func TestPrintTableFormat(t *testing.T) {
 		}
 	}
 	lines := strings.Split(strings.TrimSpace(out), "\n")
-	if len(lines) != 5 { // title, header, rule, row, footnote
-		t.Errorf("lines = %d, want 5:\n%s", len(lines), out)
+	if len(lines) != 6 { // title, header, rule, row, footnote, solver work
+		t.Errorf("lines = %d, want 6:\n%s", len(lines), out)
+	}
+	if !strings.Contains(out, "solver work:") {
+		t.Errorf("output missing solver-work footer:\n%s", out)
 	}
 }
 

@@ -12,9 +12,24 @@
 //	            x_j integral for Integer/Binary variables
 //
 // Binary variables are Integer variables with an implicit upper bound of 1.
+// An explicit Upper[j] == 0 fixes x_j at zero; "no upper bound" is spelled
+// +Inf or a short/absent Upper slice.
+//
+// The search exploits the bounded-variable simplex in internal/lp: variable
+// bounds live in lp.Problem.Lower/Upper rather than constraint rows, so a
+// branching decision is a bound change on a child node — the tableau never
+// grows with search depth — and one lp.Workspace is reused for every node
+// LP. Nodes are explored best-first on the parent LP bound (ties broken
+// LIFO, which degenerates to the old depth-first order on equal bounds). A
+// caller-supplied feasible incumbent (Options.Incumbent) starts the pruning
+// before the first node, and the root LP's reduced costs tighten integer
+// variable bounds against the incumbent objective. None of this changes
+// which statuses or objective values are returned — only how many nodes and
+// pivots it takes to prove them.
 package ilp
 
 import (
+	"container/heap"
 	"errors"
 	"fmt"
 	"math"
@@ -39,7 +54,10 @@ type Problem struct {
 	Objective   []float64 // minimized
 	Constraints []lp.Constraint
 	VarTypes    []VarType // defaults to Continuous when shorter than NumVars
-	Upper       []float64 // per-variable upper bound; 0 or +Inf entries mean "none"
+	// Upper holds per-variable upper bounds. Entries beyond the slice length
+	// and +Inf entries mean "no bound"; an explicit 0 fixes the variable at
+	// zero. (Binary variables are implicitly bounded by 1 regardless.)
+	Upper []float64
 }
 
 // Status describes the outcome of a MILP solve.
@@ -90,6 +108,21 @@ type Options struct {
 	// with the incumbent so far, or Limit without one). Callers plumbing a
 	// context typically set it to func() bool { return ctx.Err() != nil }.
 	Cancel func() bool
+	// Incumbent optionally seeds the search with a known feasible integer
+	// assignment (length NumVars). It is validated — bounds, integrality
+	// within IntTol, every constraint within tolerance — and silently
+	// ignored if it fails, so callers may pass heuristic solutions without
+	// re-checking them. A valid incumbent starts pruning at the root and
+	// enables reduced-cost bound tightening; it never changes the returned
+	// status or objective, only the work needed to prove them.
+	Incumbent []float64
+	// WarmStart additionally passes the current incumbent to every node LP
+	// as a pivot-path hint (lp.Problem.Hint). Profitable when the incumbent
+	// sits near the LP relaxation optimum (ILP-I's slope greedy is exactly
+	// the relaxation's vertex); counterproductive when it does not (ILP-II's
+	// marginal greedy on convex floating costs), so callers opt in. Like
+	// Incumbent it never changes the returned status or objective.
+	WarmStart bool
 }
 
 // DefaultMaxNodes is the node budget applied when Options.MaxNodes is zero.
@@ -105,39 +138,35 @@ func (p *Problem) varType(j int) VarType {
 	return Continuous
 }
 
+// upper returns the effective upper bound of variable j: 1 for Binary
+// variables, the explicit Upper entry when present (0 legitimately fixes the
+// variable), +Inf otherwise.
 func (p *Problem) upper(j int) float64 {
 	if p.varType(j) == Binary {
 		return 1
 	}
-	if j < len(p.Upper) && p.Upper[j] > 0 && !math.IsInf(p.Upper[j], 1) {
+	if j < len(p.Upper) {
 		return p.Upper[j]
 	}
 	return math.Inf(1)
 }
 
-// bound is an extra variable bound introduced by branching.
-type bound struct {
-	varIdx int
-	op     lp.Op // LE or GE
-	value  float64
-}
-
-// node is a branch-and-bound subproblem: the base problem plus a chain of
-// branching bounds (shared with ancestor nodes).
-type node struct {
-	bounds []bound
-	lower  float64 // parent LP bound, used for best-first ordering
-}
-
-// Solve runs branch-and-bound and returns the best solution found. An error
-// is returned only for invalid input or simplex numeric failure.
-func Solve(p *Problem, opts *Options) (*Solution, error) {
+func (p *Problem) validate() error {
 	if p.NumVars <= 0 {
-		return nil, fmt.Errorf("%w: NumVars = %d", ErrBadProblem, p.NumVars)
+		return fmt.Errorf("%w: NumVars = %d", ErrBadProblem, p.NumVars)
 	}
 	if len(p.Objective) > p.NumVars || len(p.VarTypes) > p.NumVars || len(p.Upper) > p.NumVars {
-		return nil, fmt.Errorf("%w: coefficient vectors longer than NumVars", ErrBadProblem)
+		return fmt.Errorf("%w: coefficient vectors longer than NumVars", ErrBadProblem)
 	}
+	for j, u := range p.Upper {
+		if math.IsNaN(u) || u < 0 {
+			return fmt.Errorf("%w: Upper[%d] = %v", ErrBadProblem, j, u)
+		}
+	}
+	return nil
+}
+
+func fillOptions(opts *Options) Options {
 	var o Options
 	if opts != nil {
 		o = *opts
@@ -148,79 +177,154 @@ func Solve(p *Problem, opts *Options) (*Solution, error) {
 	if o.IntTol == 0 {
 		o.IntTol = 1e-6
 	}
+	return o
+}
+
+// bound is a branching decision: tighten one variable's lower or upper bound.
+type bound struct {
+	varIdx int
+	upper  bool // true: x <= value, false: x >= value
+	value  float64
+}
+
+// node is a branch-and-bound subproblem: the base bound box intersected with
+// a chain of branching bounds (shared with ancestor nodes).
+type node struct {
+	bounds []bound
+	lower  float64 // parent LP bound, primary best-first key
+	seq    int     // push order; later nodes pop first on bound ties
+}
+
+// nodeHeap orders nodes best-first by parent LP bound; ties pop the most
+// recently pushed node (LIFO), which reproduces the pre-best-first
+// depth-first exploration order on plateaus and keeps memory small.
+type nodeHeap []*node
+
+func (h nodeHeap) Len() int { return len(h) }
+func (h nodeHeap) Less(i, j int) bool {
+	if h[i].lower != h[j].lower {
+		return h[i].lower < h[j].lower
+	}
+	return h[i].seq > h[j].seq
+}
+func (h nodeHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *nodeHeap) Push(x interface{}) { *h = append(*h, x.(*node)) }
+func (h *nodeHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	it := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return it
+}
+
+// Solve runs branch-and-bound and returns the best solution found. An error
+// is returned only for invalid input or simplex numeric failure.
+func Solve(p *Problem, opts *Options) (*Solution, error) {
+	if err := p.validate(); err != nil {
+		return nil, err
+	}
+	o := fillOptions(opts)
 	deadline := time.Time{}
 	if o.Timeout > 0 {
 		deadline = time.Now().Add(o.Timeout)
 	}
 
-	// Base constraints: the caller's rows plus finite upper bounds.
-	base := make([]lp.Constraint, 0, len(p.Constraints)+p.NumVars)
-	base = append(base, p.Constraints...)
+	s := &searcher{
+		p:        p,
+		opts:     o,
+		deadline: deadline,
+		ws:       lp.NewWorkspace(),
+		best:     math.Inf(1),
+		baseLo:   make([]float64, p.NumVars),
+		baseUp:   make([]float64, p.NumVars),
+		lo:       make([]float64, p.NumVars),
+		up:       make([]float64, p.NumVars),
+	}
 	for j := 0; j < p.NumVars; j++ {
-		if ub := p.upper(j); !math.IsInf(ub, 1) {
-			co := make([]float64, j+1)
-			co[j] = 1
-			base = append(base, lp.Constraint{Coeffs: co, Op: lp.LE, RHS: ub})
+		s.baseUp[j] = p.upper(j)
+	}
+	if o.Incumbent != nil {
+		if x, obj, ok := s.checkIncumbent(o.Incumbent); ok {
+			s.best = obj
+			s.bestX = x
+			s.seeded = true
 		}
 	}
 
-	s := &searcher{p: p, base: base, opts: o, deadline: deadline, best: math.Inf(1)}
-	// DFS stack seeded with the root; depth-first keeps memory small and
-	// finds incumbents quickly, while the stored parent bounds let us prune
-	// by the incumbent.
-	stack := []*node{{}}
-	for len(stack) > 0 {
+	h := &nodeHeap{{lower: math.Inf(-1)}}
+	for h.Len() > 0 {
 		if s.nodes >= o.MaxNodes || (!deadline.IsZero() && time.Now().After(deadline)) ||
 			(o.Cancel != nil && o.Cancel()) {
 			return s.finish(false), nil
 		}
-		n := stack[len(stack)-1]
-		stack = stack[:len(stack)-1]
+		n := heap.Pop(h).(*node)
 		if n.lower >= s.best-1e-9 {
-			continue // pruned by bound discovered after the node was pushed
+			// Best-first ordering means every remaining node is pruned too.
+			return s.finish(true), nil
 		}
 		children, err := s.expand(n)
 		if err != nil {
 			return nil, err
 		}
-		stack = append(stack, children...)
+		for _, c := range children {
+			s.seq++
+			c.seq = s.seq
+			heap.Push(h, c)
+		}
 	}
 	return s.finish(true), nil
 }
 
 type searcher struct {
 	p        *Problem
-	base     []lp.Constraint
 	opts     Options
 	deadline time.Time
+	ws       *lp.Workspace
+	baseLo   []float64 // root bound box (tightened in place by tightenRoot)
+	baseUp   []float64
+	lo, up   []float64 // scratch: current node's materialized bound box
 	best     float64
 	bestX    []float64
+	seeded   bool // bestX came from Options.Incumbent
 	nodes    int
 	pivots   int
+	seq      int
 	rootUnbd bool
-	rootInfs bool
 	sawRoot  bool
 }
 
 // expand solves the node's LP relaxation and returns child nodes (if any).
 func (s *searcher) expand(n *node) ([]*node, error) {
 	s.nodes++
+	// Materialize the node's bound box: the root box intersected with the
+	// branching chain. Later bounds in the chain are tighter or equal for
+	// the same variable, but intersection keeps this order-independent.
+	copy(s.lo, s.baseLo)
+	copy(s.up, s.baseUp)
+	for _, b := range n.bounds {
+		if b.upper {
+			if b.value < s.up[b.varIdx] {
+				s.up[b.varIdx] = b.value
+			}
+		} else if b.value > s.lo[b.varIdx] {
+			s.lo[b.varIdx] = b.value
+		}
+	}
 	prob := &lp.Problem{
 		NumVars:     s.p.NumVars,
 		Objective:   s.p.Objective,
-		Constraints: s.base,
+		Constraints: s.p.Constraints,
+		Lower:       s.lo,
+		Upper:       s.up,
 	}
-	if len(n.bounds) > 0 {
-		cons := make([]lp.Constraint, len(s.base), len(s.base)+len(n.bounds))
-		copy(cons, s.base)
-		for _, b := range n.bounds {
-			co := make([]float64, b.varIdx+1)
-			co[b.varIdx] = 1
-			cons = append(cons, lp.Constraint{Coeffs: co, Op: b.op, RHS: b.value})
-		}
-		prob.Constraints = cons
+	if s.opts.WarmStart {
+		// The best integer point found so far warm-starts the node LP; nil
+		// until an incumbent exists. Advisory only — shortens the pivot
+		// path without changing the LP optimum.
+		prob.Hint = s.bestX
 	}
-	sol, err := lp.Solve(prob)
+	sol, err := s.ws.Solve(prob)
 	if err != nil {
 		return nil, err
 	}
@@ -229,18 +333,18 @@ func (s *searcher) expand(n *node) ([]*node, error) {
 	s.sawRoot = true
 	switch sol.Status {
 	case lp.Infeasible:
-		if isRoot {
-			s.rootInfs = true
-		}
 		return nil, nil
 	case lp.Unbounded:
 		if isRoot {
 			s.rootUnbd = true
 			return nil, nil
 		}
-		// A bounded-variable child cannot be unbounded if the root was not;
+		// A bound-restricted child cannot be unbounded if the root was not;
 		// treat as numeric trouble.
 		return nil, lp.ErrNumeric
+	}
+	if isRoot && s.bestX != nil {
+		s.tightenRoot(sol)
 	}
 	if sol.Objective >= s.best-1e-9 {
 		return nil, nil // bound prune
@@ -271,16 +375,116 @@ func (s *searcher) expand(n *node) ([]*node, error) {
 		}
 		s.best = sol.Objective
 		s.bestX = x
+		s.seeded = false
 		return nil, nil
 	}
 
 	v := sol.X[branchVar]
 	floorV := math.Floor(v)
-	// Push the "down" child last so depth-first explores it first (fill
-	// problems tend to round down toward feasibility).
-	up := &node{bounds: appendBound(n.bounds, bound{branchVar, lp.GE, floorV + 1}), lower: sol.Objective}
-	down := &node{bounds: appendBound(n.bounds, bound{branchVar, lp.LE, floorV}), lower: sol.Objective}
+	// The "down" child is listed second so it receives the higher seq and,
+	// on equal LP bounds, pops first — preserving the old depth-first
+	// down-before-up preference (fill problems tend to round down toward
+	// feasibility).
+	up := &node{bounds: appendBound(n.bounds, bound{branchVar, false, floorV + 1}), lower: sol.Objective}
+	down := &node{bounds: appendBound(n.bounds, bound{branchVar, true, floorV}), lower: sol.Objective}
 	return []*node{up, down}, nil
+}
+
+// checkIncumbent validates a caller-supplied incumbent: right length, finite,
+// integral within IntTol where required, inside the bound box, and
+// satisfying every constraint within 1e-6·(1+|RHS|). It returns the rounded
+// copy and its exact objective; ok is false if any check fails.
+func (s *searcher) checkIncumbent(inc []float64) (x []float64, obj float64, ok bool) {
+	if len(inc) != s.p.NumVars {
+		return nil, 0, false
+	}
+	tol := s.opts.IntTol
+	x = make([]float64, len(inc))
+	copy(x, inc)
+	for j := range x {
+		if math.IsNaN(x[j]) || math.IsInf(x[j], 0) {
+			return nil, 0, false
+		}
+		if s.p.varType(j) != Continuous {
+			r := math.Round(x[j])
+			if math.Abs(x[j]-r) > tol {
+				return nil, 0, false
+			}
+			x[j] = r
+		}
+		if x[j] < -tol || x[j] > s.baseUp[j]+tol {
+			return nil, 0, false
+		}
+		if x[j] < 0 {
+			x[j] = 0
+		}
+		if x[j] > s.baseUp[j] {
+			x[j] = s.baseUp[j]
+		}
+	}
+	for _, c := range s.p.Constraints {
+		lhs := 0.0
+		for j, v := range c.Coeffs {
+			lhs += v * x[j]
+		}
+		ctol := 1e-6 * (1 + math.Abs(c.RHS))
+		switch c.Op {
+		case lp.LE:
+			if lhs > c.RHS+ctol {
+				return nil, 0, false
+			}
+		case lp.GE:
+			if lhs < c.RHS-ctol {
+				return nil, 0, false
+			}
+		case lp.EQ:
+			if math.Abs(lhs-c.RHS) > ctol {
+				return nil, 0, false
+			}
+		}
+	}
+	for j, c := range s.p.Objective {
+		obj += c * x[j]
+	}
+	return x, obj, true
+}
+
+// tightenRoot shrinks the root bound box of integer variables using the root
+// LP's reduced costs against the incumbent objective. For a nonbasic
+// variable at its lower bound with reduced cost d > 0, any feasible point
+// with objective <= best satisfies x_j <= lo_j + gap/d (LP duality: moving
+// x_j up by t costs at least d·t); symmetrically at the upper bound. The
+// floors keep every solution at least as good as the incumbent, so the
+// optimal objective is untouched — only the search space shrinks. Tightened
+// bounds are written to the root box and inherited by all descendants.
+func (s *searcher) tightenRoot(sol *lp.Solution) {
+	if len(sol.ReducedCosts) != s.p.NumVars || math.IsInf(s.best, 1) {
+		return
+	}
+	gap := s.best - sol.Objective
+	if gap < 0 || math.IsInf(gap, 1) || math.IsNaN(gap) {
+		return
+	}
+	for j := 0; j < s.p.NumVars; j++ {
+		if s.p.varType(j) == Continuous {
+			continue
+		}
+		d := sol.ReducedCosts[j]
+		if d > 1e-7 {
+			nb := s.baseLo[j] + math.Floor(gap/d+1e-6)
+			if nb < s.baseUp[j] {
+				s.baseUp[j] = nb
+			}
+		} else if d < -1e-7 {
+			if math.IsInf(s.baseUp[j], 1) {
+				continue
+			}
+			nb := s.baseUp[j] - math.Floor(gap/-d+1e-6)
+			if nb > s.baseLo[j] {
+				s.baseLo[j] = nb
+			}
+		}
+	}
 }
 
 // appendBound copies the parent's bound chain and appends b, so siblings do

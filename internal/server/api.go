@@ -82,6 +82,7 @@ type ReportPayload struct {
 	Placed       int            `json:"placed"`
 	Tiles        int            `json:"tiles"`
 	ILPNodes     int            `json:"ilp_nodes,omitempty"`
+	LPPivots     int            `json:"lp_pivots,omitempty"`
 	UnweightedPS float64        `json:"unweighted_ps"`
 	WeightedPS   float64        `json:"weighted_ps"`
 	SolveCPUMS   float64        `json:"solve_cpu_ms"`
@@ -127,6 +128,7 @@ func BuildReport(s *pilfill.Session, rep *pilfill.Report) *ReportPayload {
 		Placed:       res.Placed,
 		Tiles:        res.Tiles,
 		ILPNodes:     res.ILPNodes,
+		LPPivots:     res.LPPivots,
 		UnweightedPS: res.Unweighted * 1e12,
 		WeightedPS:   res.Weighted * 1e12,
 		SolveCPUMS:   ms(res.CPU),

@@ -70,6 +70,8 @@ func formatFloat(v float64) string {
 type metrics struct {
 	mu       sync.Mutex
 	finished map[string]int64 // terminal jobs by final state
+	ilpNodes int64            // branch-and-bound nodes across finished jobs
+	lpPivots int64            // simplex pivots across finished jobs
 
 	solveCPU  *histogram
 	solveWall *histogram
@@ -89,6 +91,10 @@ func (m *metrics) jobFinished(snap jobqueue.Snapshot) {
 	m.finished[snap.State.String()]++
 	m.mu.Unlock()
 	if rep, ok := snap.Result.(*ReportPayload); ok && snap.State == jobqueue.Done {
+		m.mu.Lock()
+		m.ilpNodes += int64(rep.ILPNodes)
+		m.lpPivots += int64(rep.LPPivots)
+		m.mu.Unlock()
 		m.solveCPU.observe(rep.SolveCPUMS / 1e3)
 		m.solveWall.observe(rep.WallMS / 1e3)
 	}
@@ -129,7 +135,15 @@ func (m *metrics) write(w io.Writer, stats jobqueue.Stats) {
 	for _, s := range states {
 		fmt.Fprintf(w, "pilfilld_jobs_finished_total{state=%q} %d\n", s, m.finished[s])
 	}
+	ilpNodes, lpPivots := m.ilpNodes, m.lpPivots
 	m.mu.Unlock()
+
+	fmt.Fprintf(w, "# HELP pilfilld_ilp_nodes_total Branch-and-bound nodes across finished jobs.\n")
+	fmt.Fprintf(w, "# TYPE pilfilld_ilp_nodes_total counter\n")
+	fmt.Fprintf(w, "pilfilld_ilp_nodes_total %d\n", ilpNodes)
+	fmt.Fprintf(w, "# HELP pilfilld_lp_pivots_total Simplex pivots across finished jobs.\n")
+	fmt.Fprintf(w, "# TYPE pilfilld_lp_pivots_total counter\n")
+	fmt.Fprintf(w, "pilfilld_lp_pivots_total %d\n", lpPivots)
 
 	m.solveCPU.write(w, "pilfilld_solve_cpu_seconds")
 	m.solveWall.write(w, "pilfilld_solve_wall_seconds")
