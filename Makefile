@@ -1,8 +1,12 @@
 GO ?= go
 
-.PHONY: ci fmt vet build test race bench bench-solver bench-solver-short serve
+# Build version stamped into the binaries (pilfilld_build_info, -version).
+VERSION ?= $(shell git describe --tags --always --dirty 2>/dev/null || echo dev)
+LDFLAGS := -ldflags "-X pilfill/internal/obs.Version=$(VERSION)"
 
-ci: fmt vet build test race bench-solver-short
+.PHONY: ci fmt vet build test race bench bench-solver bench-solver-short trace-smoke serve
+
+ci: fmt vet build test race trace-smoke bench-solver-short
 
 fmt:
 	@out=$$(gofmt -l .); if [ -n "$$out" ]; then \
@@ -12,13 +16,13 @@ vet:
 	$(GO) vet ./...
 
 build:
-	$(GO) build ./...
+	$(GO) build $(LDFLAGS) ./...
 
 test:
 	$(GO) test ./...
 
 race:
-	$(GO) test -race ./internal/core/... ./internal/jobqueue ./internal/server
+	$(GO) test -race ./internal/core/... ./internal/jobqueue ./internal/server ./internal/obs
 
 bench:
 	$(GO) test -bench 'EnginePreprocess' -benchtime 10x -run '^$$' .
@@ -34,6 +38,13 @@ bench-solver:
 bench-solver-short:
 	$(GO) run ./cmd/benchsolver -short -check -o BENCH_solver.json
 
+# Tracing smoke test: run a small case with -trace and validate the Chrome
+# trace-event JSON (parses, has the run/prep/tile/solve span hierarchy).
+trace-smoke:
+	$(GO) run ./cmd/pilfill -case T2 -window 32 -r 2 -method Greedy -trace trace-smoke.json >/dev/null
+	$(GO) run ./cmd/tracecheck trace-smoke.json
+	@rm -f trace-smoke.json
+
 # Run the fill-synthesis daemon with development-friendly settings.
 serve:
-	$(GO) run ./cmd/pilfilld -addr :8419 -queue-capacity 32
+	$(GO) run $(LDFLAGS) ./cmd/pilfilld -addr :8419 -queue-capacity 32 -pprof

@@ -28,6 +28,7 @@ import (
 	"pilfill/internal/harness"
 	"pilfill/internal/ilp"
 	"pilfill/internal/layout"
+	"pilfill/internal/obs"
 	"pilfill/internal/testcases"
 )
 
@@ -241,11 +242,32 @@ func runCase(c benchCase) (CaseResult, error) {
 
 func main() {
 	var (
-		out   = flag.String("o", "BENCH_solver.json", "output file, - for stdout")
-		short = flag.Bool("short", false, "single-case run for CI")
-		check = flag.Bool("check", false, "exit 1 unless both families reach a 2x work reduction")
+		out        = flag.String("o", "BENCH_solver.json", "output file, - for stdout")
+		short      = flag.Bool("short", false, "single-case run for CI")
+		check      = flag.Bool("check", false, "exit 1 unless both families reach a 2x work reduction")
+		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile to this path")
+		memprofile = flag.String("memprofile", "", "write a heap profile to this path on exit")
 	)
 	flag.Parse()
+
+	if *cpuprofile != "" {
+		stop, err := obs.StartCPUProfile(*cpuprofile)
+		if err != nil {
+			fail("%v", err)
+		}
+		defer func() {
+			if err := stop(); err != nil {
+				fmt.Fprintf(os.Stderr, "benchsolver: cpu profile: %v\n", err)
+			}
+		}()
+	}
+	if *memprofile != "" {
+		defer func() {
+			if err := obs.WriteHeapProfile(*memprofile); err != nil {
+				fmt.Fprintf(os.Stderr, "benchsolver: heap profile: %v\n", err)
+			}
+		}()
+	}
 
 	cases := []benchCase{{"T1", 20, 8}, {"T1", 32, 4}, {"T2", 20, 8}}
 	if *short {

@@ -23,7 +23,12 @@ import (
 
 	"pilfill/internal/cap"
 	"pilfill/internal/harness"
+	"pilfill/internal/obs"
 )
+
+// tracer is non-nil when -trace is set; every table row records its engine
+// spans into it.
+var tracer *obs.Tracer
 
 func fail(format string, args ...any) {
 	fmt.Fprintf(os.Stderr, "benchtables: "+format+"\n", args...)
@@ -36,11 +41,13 @@ func runTable(n int, rowFilter string) {
 		map[bool]string{false: "non-weighted", true: "weighted"}[weighted])
 	var rows []*harness.Row
 	if rowFilter == "" {
-		all, err := harness.RunTable(weighted)
-		if err != nil {
-			fail("%v", err)
+		for _, g := range harness.Grid {
+			row, err := harness.RunRowObs(g.Case, g.W, g.R, weighted, harness.Obs{Trace: tracer})
+			if err != nil {
+				fail("%v", err)
+			}
+			rows = append(rows, row)
 		}
-		rows = all
 	} else {
 		for _, spec := range strings.Split(rowFilter, ",") {
 			parts := strings.Split(strings.TrimSpace(spec), "/")
@@ -52,7 +59,7 @@ func runTable(n int, rowFilter string) {
 			if err1 != nil || err2 != nil {
 				fail("bad row spec %q", spec)
 			}
-			row, err := harness.RunRow(parts[0], w, r, weighted)
+			row, err := harness.RunRowObs(parts[0], w, r, weighted, harness.Obs{Trace: tracer})
 			if err != nil {
 				fail("%v", err)
 			}
@@ -88,12 +95,48 @@ func runFig(n int) {
 
 func main() {
 	var (
-		table = flag.Int("table", 0, "regenerate table 1 or 2")
-		fig   = flag.Int("fig", 0, "regenerate a figure analog (2, 3, or 4 for the 4-6 group)")
-		all   = flag.Bool("all", false, "regenerate everything")
-		rows  = flag.String("rows", "", "comma-separated subset of table rows, e.g. T1/32/2,T2/20/8")
+		table      = flag.Int("table", 0, "regenerate table 1 or 2")
+		fig        = flag.Int("fig", 0, "regenerate a figure analog (2, 3, or 4 for the 4-6 group)")
+		all        = flag.Bool("all", false, "regenerate everything")
+		rows       = flag.String("rows", "", "comma-separated subset of table rows, e.g. T1/32/2,T2/20/8")
+		tracePath  = flag.String("trace", "", "write a Chrome trace-event JSON of the table runs to this path")
+		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile to this path")
+		memprofile = flag.String("memprofile", "", "write a heap profile to this path on exit")
 	)
 	flag.Parse()
+
+	if *cpuprofile != "" {
+		stop, err := obs.StartCPUProfile(*cpuprofile)
+		if err != nil {
+			fail("%v", err)
+		}
+		defer func() {
+			if err := stop(); err != nil {
+				fmt.Fprintf(os.Stderr, "benchtables: cpu profile: %v\n", err)
+			}
+		}()
+	}
+	if *memprofile != "" {
+		defer func() {
+			if err := obs.WriteHeapProfile(*memprofile); err != nil {
+				fmt.Fprintf(os.Stderr, "benchtables: heap profile: %v\n", err)
+			}
+		}()
+	}
+	if *tracePath != "" {
+		tracer = obs.NewTracer(0)
+		defer func() {
+			f, err := os.Create(*tracePath)
+			if err != nil {
+				fail("%v", err)
+			}
+			defer f.Close()
+			if err := tracer.WriteChromeTrace(f); err != nil {
+				fail("write trace: %v", err)
+			}
+			fmt.Printf("wrote %s (%d spans)\n", *tracePath, len(tracer.Snapshot()))
+		}()
+	}
 
 	if *all {
 		runTable(1, *rows)

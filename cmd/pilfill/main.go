@@ -15,6 +15,7 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"log/slog"
 	"os"
 	"strings"
 	"time"
@@ -22,6 +23,7 @@ import (
 	"pilfill"
 	"pilfill/internal/core"
 	"pilfill/internal/layout"
+	"pilfill/internal/obs"
 	"pilfill/internal/server"
 	"pilfill/internal/testcases"
 )
@@ -65,8 +67,48 @@ func main() {
 		phases   = flag.Bool("phases", false, "print the per-run phase timing breakdown (solve/evaluate/place)")
 		timeout  = flag.Duration("timeout", 0, "abort the solves after this long (0 = no limit)")
 		jsonOut  = flag.Bool("json", false, "emit the reports as JSON (the pilfilld serialization) instead of text")
+
+		tracePath  = flag.String("trace", "", "write a Chrome trace-event JSON of the run to this path (view in Perfetto)")
+		slowest    = flag.Int("slowest", 0, "print the N slowest tile solves (requires -trace)")
+		slowTile   = flag.Duration("slowtile", 0, "log a warning for tile solves slower than this (requires -log-level)")
+		logLevel   = flag.String("log-level", "", "enable structured logging on stderr at this level: debug|info|warn|error")
+		logFormat  = flag.String("log-format", "text", "structured log format: text|json")
+		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile to this path")
+		memprofile = flag.String("memprofile", "", "write a heap profile to this path on exit")
 	)
 	flag.Parse()
+
+	if *cpuprofile != "" {
+		stop, err := obs.StartCPUProfile(*cpuprofile)
+		if err != nil {
+			fail("%v", err)
+		}
+		defer func() {
+			if err := stop(); err != nil {
+				fmt.Fprintf(os.Stderr, "pilfill: cpu profile: %v\n", err)
+			}
+		}()
+	}
+	if *memprofile != "" {
+		defer func() {
+			if err := obs.WriteHeapProfile(*memprofile); err != nil {
+				fmt.Fprintf(os.Stderr, "pilfill: heap profile: %v\n", err)
+			}
+		}()
+	}
+
+	var tracer *obs.Tracer
+	if *tracePath != "" {
+		tracer = obs.NewTracer(0)
+	}
+	var logger *slog.Logger
+	if *logLevel != "" {
+		level, err := obs.ParseLevel(*logLevel)
+		if err != nil {
+			fail("%v", err)
+		}
+		logger = obs.NewLogger(os.Stderr, level, *logFormat)
+	}
 
 	var l *layout.Layout
 	var err error
@@ -108,15 +150,18 @@ func main() {
 	}
 
 	opts := pilfill.Options{
-		Window:   testcases.WindowNM(*window),
-		R:        *r,
-		Rule:     pilfill.DefaultRuleT1T2(),
-		Weighted: *weighted,
-		Def:      pilfill.SlackDef(*defName),
-		Seed:     *seed,
-		NetCap:   *netCap * 1e-12,
-		Workers:  *workers,
-		Grounded: *grounded,
+		Window:            testcases.WindowNM(*window),
+		R:                 *r,
+		Rule:              pilfill.DefaultRuleT1T2(),
+		Weighted:          *weighted,
+		Def:               pilfill.SlackDef(*defName),
+		Seed:              *seed,
+		NetCap:            *netCap * 1e-12,
+		Workers:           *workers,
+		Grounded:          *grounded,
+		Trace:             tracer,
+		Logger:            logger,
+		SlowTileThreshold: *slowTile,
 	}
 	s, err := pilfill.NewSession(l, opts)
 	if err != nil {
@@ -181,6 +226,27 @@ func main() {
 		enc.SetIndent("", "  ")
 		if err := enc.Encode(out); err != nil {
 			fail("%v", err)
+		}
+	}
+
+	if tracer != nil {
+		f, err := os.Create(*tracePath)
+		if err != nil {
+			fail("%v", err)
+		}
+		if err := tracer.WriteChromeTrace(f); err != nil {
+			fail("write trace: %v", err)
+		}
+		f.Close()
+		if !*jsonOut {
+			fmt.Printf("wrote %s (%d spans", *tracePath, len(tracer.Snapshot()))
+			if d := tracer.Dropped(); d > 0 {
+				fmt.Printf(", %d dropped by ring wrap", d)
+			}
+			fmt.Println("); open in ui.perfetto.dev or chrome://tracing")
+		}
+		if *slowest > 0 {
+			tracer.WriteTopSlow(os.Stdout, "tile", *slowest)
 		}
 	}
 

@@ -16,6 +16,7 @@ import (
 	"context"
 	"errors"
 	"flag"
+	"fmt"
 	"log"
 	"net/http"
 	"os"
@@ -25,6 +26,7 @@ import (
 	"time"
 
 	"pilfill/internal/jobqueue"
+	"pilfill/internal/obs"
 	"pilfill/internal/server"
 )
 
@@ -36,8 +38,22 @@ func main() {
 		jobTimeout   = flag.Duration("job-timeout", 10*time.Minute, "default per-job run deadline (0 = none; requests may set a shorter one)")
 		drainTimeout = flag.Duration("drain-timeout", 30*time.Second, "how long shutdown waits for accepted jobs before cancelling them")
 		maxBody      = flag.Int64("max-body-bytes", 64<<20, "request body limit (inline DEF payloads)")
+		logLevel     = flag.String("log-level", "info", "structured log level: debug|info|warn|error")
+		logFormat    = flag.String("log-format", "text", "structured log format: text|json")
+		pprofFlag    = flag.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/ (protect the port)")
+		version      = flag.Bool("version", false, "print the build version and exit")
 	)
 	flag.Parse()
+
+	if *version {
+		fmt.Printf("pilfilld %s (%s)\n", obs.Version, obs.GoVersion())
+		return
+	}
+	level, err := obs.ParseLevel(*logLevel)
+	if err != nil {
+		log.Fatalf("pilfilld: %v", err)
+	}
+	logger := obs.NewLogger(os.Stderr, level, *logFormat)
 
 	srv := server.New(server.Config{
 		Queue: jobqueue.Config{
@@ -46,21 +62,25 @@ func main() {
 			DefaultTimeout: *jobTimeout,
 		},
 		MaxBodyBytes: *maxBody,
+		Logger:       logger,
+		Pprof:        *pprofFlag,
 	})
 	hs := &http.Server{Addr: *addr, Handler: srv}
 
 	errCh := make(chan error, 1)
 	go func() { errCh <- hs.ListenAndServe() }()
-	log.Printf("pilfilld listening on %s (queue capacity %d, %d workers, job timeout %v)",
-		*addr, *capacity, *workers, *jobTimeout)
+	logger.Info("pilfilld listening", "addr", *addr, "capacity", *capacity,
+		"workers", *workers, "job_timeout", *jobTimeout,
+		"pprof", *pprofFlag, "version", obs.Version)
 
 	sigCh := make(chan os.Signal, 1)
 	signal.Notify(sigCh, syscall.SIGTERM, syscall.SIGINT)
 	select {
 	case sig := <-sigCh:
-		log.Printf("received %v, draining (timeout %v)", sig, *drainTimeout)
+		logger.Info("draining", "signal", sig.String(), "timeout", *drainTimeout)
 	case err := <-errCh:
-		log.Fatalf("listener failed: %v", err)
+		logger.Error("listener failed", "err", err)
+		os.Exit(1)
 	}
 
 	// Drain first while the listener still serves GETs, so clients can poll
@@ -68,13 +88,13 @@ func main() {
 	drainCtx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
 	defer cancel()
 	if err := srv.Shutdown(drainCtx); err != nil {
-		log.Printf("drain incomplete, remaining jobs cancelled: %v", err)
+		logger.Warn("drain incomplete, remaining jobs cancelled", "err", err)
 	} else {
-		log.Printf("queue drained")
+		logger.Info("queue drained")
 	}
 	httpCtx, cancel2 := context.WithTimeout(context.Background(), 5*time.Second)
 	defer cancel2()
 	if err := hs.Shutdown(httpCtx); err != nil && !errors.Is(err, http.ErrServerClosed) {
-		log.Printf("http shutdown: %v", err)
+		logger.Warn("http shutdown", "err", err)
 	}
 }

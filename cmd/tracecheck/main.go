@@ -1,0 +1,108 @@
+// Command tracecheck validates a Chrome trace-event JSON file produced by
+// pilfill -trace / benchtables -trace: the document must parse, contain at
+// least one event, use only well-formed phases, and (unless -names is
+// cleared) contain the pipeline's span hierarchy. It is the assertion behind
+// `make trace-smoke`.
+//
+// Usage:
+//
+//	pilfill -case T2 -method ILP-II -trace out.json
+//	tracecheck out.json
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+)
+
+func fail(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "tracecheck: "+format+"\n", args...)
+	os.Exit(1)
+}
+
+type event struct {
+	Name string         `json:"name"`
+	Cat  string         `json:"cat"`
+	Ph   string         `json:"ph"`
+	TS   *float64       `json:"ts"`
+	Dur  *float64       `json:"dur"`
+	PID  *int           `json:"pid"`
+	TID  *int           `json:"tid"`
+	Args map[string]any `json:"args"`
+}
+
+type document struct {
+	TraceEvents []event `json:"traceEvents"`
+}
+
+func main() {
+	names := flag.String("names", "prep,run,tile,solve",
+		"comma-separated span names that must all appear (empty disables)")
+	quiet := flag.Bool("q", false, "print nothing on success")
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: tracecheck [-names a,b,c] trace.json")
+		os.Exit(2)
+	}
+	path := flag.Arg(0)
+	data, err := os.ReadFile(path)
+	if err != nil {
+		fail("%v", err)
+	}
+	var doc document
+	if err := json.Unmarshal(data, &doc); err != nil {
+		fail("%s: not a trace-event document: %v", path, err)
+	}
+	if len(doc.TraceEvents) == 0 {
+		fail("%s: no trace events", path)
+	}
+
+	seen := map[string]int{}
+	spans := 0
+	for i, ev := range doc.TraceEvents {
+		if ev.Name == "" {
+			fail("%s: event %d has no name", path, i)
+		}
+		if ev.TS == nil {
+			fail("%s: event %d (%s) has no ts", path, i, ev.Name)
+		}
+		if ev.PID == nil || ev.TID == nil {
+			fail("%s: event %d (%s) missing pid/tid", path, i, ev.Name)
+		}
+		switch ev.Ph {
+		case "X":
+			if ev.Dur == nil || *ev.Dur < 0 {
+				fail("%s: complete event %d (%s) has no valid dur", path, i, ev.Name)
+			}
+			spans++
+		case "i":
+			// instant events carry no duration
+		default:
+			fail("%s: event %d (%s) has unsupported phase %q", path, i, ev.Name, ev.Ph)
+		}
+		seen[ev.Name]++
+	}
+	if *names != "" {
+		for _, want := range strings.Split(*names, ",") {
+			want = strings.TrimSpace(want)
+			if want != "" && seen[want] == 0 {
+				fail("%s: no %q span (have: %v)", path, want, keys(seen))
+			}
+		}
+	}
+	if !*quiet {
+		fmt.Printf("%s: ok (%d events, %d complete spans, %d names)\n",
+			path, len(doc.TraceEvents), spans, len(seen))
+	}
+}
+
+func keys(m map[string]int) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	return out
+}

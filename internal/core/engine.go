@@ -3,6 +3,7 @@ package core
 import (
 	"context"
 	"fmt"
+	"log/slog"
 	"math/rand"
 	"sort"
 	"sync"
@@ -12,6 +13,7 @@ import (
 	"pilfill/internal/density"
 	"pilfill/internal/ilp"
 	"pilfill/internal/layout"
+	"pilfill/internal/obs"
 	"pilfill/internal/rc"
 	"pilfill/internal/scanline"
 )
@@ -92,6 +94,23 @@ type Config struct {
 	// its own table, the pre-cache behavior); used by benchmarks and the
 	// cache-correctness tests.
 	NoTableCache bool
+	// Trace optionally records hierarchical spans (prep → analyze/extract,
+	// run → tile → solve, ilp progress instants) into the observability
+	// layer's ring buffer. A nil tracer is free: every span call is an
+	// allocation-free no-op, so leaving this unset costs nothing on the
+	// solve path.
+	Trace *obs.Tracer
+	// Logger receives structured solve-path logs: slow-tile warnings (see
+	// SlowTile) at Warn, ILP solver progress at Debug. Nil disables logging.
+	Logger *slog.Logger
+	// SlowTile is the per-tile solve duration above which a warning is
+	// logged (requires Logger). 0 disables the slow-tile warning.
+	SlowTile time.Duration
+	// ProgressNodes is the branch-and-bound node interval between solver
+	// progress events (trace instants and Debug logs); 0 means
+	// ilp.DefaultProgressEvery. Progress is only wired up when Trace is
+	// enabled or Logger logs at Debug, so the default costs nothing.
+	ProgressNodes int
 }
 
 // PrepStats breaks down the engine's preprocessing wall time. Analyze and
@@ -119,7 +138,8 @@ type Engine struct {
 	// each Instances call).
 	Prep PrepStats
 
-	cache *cap.TableCache // nil when Config.NoTableCache
+	cache    *cap.TableCache // nil when Config.NoTableCache
+	prepSpan obs.SpanID      // the "prep" span, parent of later build spans
 }
 
 // workerCount resolves the effective fan-out width for n independent items.
@@ -137,9 +157,15 @@ func workerCount(workers, n int) int {
 // one worker it degenerates to a plain loop; fn must touch only index-owned
 // state so results are identical either way.
 func fanOut(workers, n int, fn func(i int)) {
+	fanOutWorker(workers, n, func(_, i int) { fn(i) })
+}
+
+// fanOutWorker is fanOut exposing the worker index to fn — the tracer's
+// display lane, so concurrent tiles render on separate rows in a trace.
+func fanOutWorker(workers, n int, fn func(worker, i int)) {
 	if workers = workerCount(workers, n); workers == 1 {
 		for i := 0; i < n; i++ {
-			fn(i)
+			fn(0, i)
 		}
 		return
 	}
@@ -147,12 +173,12 @@ func fanOut(workers, n int, fn func(i int)) {
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
-		go func() {
+		go func(w int) {
 			defer wg.Done()
 			for i := range idx {
-				fn(i)
+				fn(w, i)
 			}
-		}()
+		}(w)
 	}
 	for i := 0; i < n; i++ {
 		idx <- i
@@ -185,12 +211,17 @@ func NewEngine(l *layout.Layout, dis *layout.Dissection, rule layout.FillRule, c
 	}
 	occ := layout.NewOccupancy(l, grid, cfg.Layer)
 
+	prep := cfg.Trace.Start("phase", "prep", 0, 0)
+	prep.Arg("nets", int64(len(l.Nets)))
+
 	analyzeStart := time.Now()
+	analyzeSpan := cfg.Trace.Start("phase", "analyze", 0, prep.ID())
 	analyses := make([]*rc.Analysis, len(l.Nets))
 	errs := make([]error, len(l.Nets))
 	fanOut(cfg.Workers, len(l.Nets), func(i int) {
 		analyses[i], errs[i] = rc.Analyze(l.Nets[i], cfg.Proc)
 	})
+	analyzeSpan.End()
 	for i, err := range errs {
 		if err != nil {
 			return nil, fmt.Errorf("core: net %q: %w", l.Nets[i].Name, err)
@@ -199,17 +230,21 @@ func NewEngine(l *layout.Layout, dis *layout.Dissection, rule layout.FillRule, c
 	analyzeDur := time.Since(analyzeStart)
 
 	extractStart := time.Now()
+	extractSpan := cfg.Trace.Start("phase", "extract", 0, prep.ID())
 	tiles, err := scanline.Extract(l, cfg.Layer, dis, occ, cfg.Def)
+	extractSpan.End()
 	if err != nil {
 		return nil, fmt.Errorf("core: %w", err)
 	}
 	e := &Engine{
 		L: l, Dis: dis, Grid: grid, Occ: occ, Rule: rule, Cfg: cfg,
 		Analyses: analyses, Tiles: tiles,
+		prepSpan: prep.ID(),
 	}
 	e.Prep.Analyze = analyzeDur
 	e.Prep.Extract = time.Since(extractStart)
 	e.Prep.Total = time.Since(start)
+	prep.End()
 	if !cfg.NoTableCache {
 		e.cache = cfg.Cache
 		if e.cache == nil {
@@ -236,6 +271,7 @@ func (e *Engine) CacheStats() cap.CacheStats {
 // concurrently; the instance list is identical to the serial build.
 func (e *Engine) Instances(budget density.Budget) []*Instance {
 	start := time.Now()
+	build := e.Cfg.Trace.Start("phase", "build", 0, e.prepSpan)
 	type slot struct{ i, j, want int }
 	var slots []slot
 	for i := 0; i < e.Dis.NX; i++ {
@@ -258,6 +294,8 @@ func (e *Engine) Instances(budget density.Budget) []*Instance {
 	dur := time.Since(start)
 	e.Prep.Build += dur
 	e.Prep.Total += dur
+	build.Arg("instances", int64(len(out)))
+	build.End()
 	return out
 }
 
@@ -305,12 +343,45 @@ func (e *Engine) ilpOpts(ctx context.Context) *ilp.Options {
 	return &opts
 }
 
+// solveOpts is ilpOpts plus the observability hook: when tracing is on or
+// the logger accepts Debug, the branch-and-bound search reports progress
+// every Config.ProgressNodes nodes as trace instants under the tile's span
+// and as Debug logs. Otherwise the options are returned untouched, so the
+// common case pays nothing.
+func (e *Engine) solveOpts(ctx context.Context, in *Instance, lane int, parent obs.SpanID) *ilp.Options {
+	opts := e.ilpOpts(ctx)
+	tr := e.Cfg.Trace
+	lg := e.Cfg.Logger
+	if lg != nil && !lg.Enabled(ctx, slog.LevelDebug) {
+		lg = nil
+	}
+	if !tr.Enabled() && lg == nil {
+		return opts
+	}
+	i, j := in.I, in.J
+	opts.ProgressEvery = e.Cfg.ProgressNodes
+	opts.Progress = func(pr ilp.Progress) {
+		if tr.Enabled() {
+			tr.Instant("ilp", "progress", lane, parent,
+				obs.Arg{Name: "nodes", Value: int64(pr.Nodes)},
+				obs.Arg{Name: "pivots", Value: int64(pr.LPPivots)})
+		}
+		if lg != nil {
+			lg.Debug("ilp progress", "i", i, "j", j,
+				"nodes", pr.Nodes, "pivots", pr.LPPivots, "open", pr.Open,
+				"incumbent", pr.Incumbent, "hasIncumbent", pr.HasIncumbent,
+				"bound", pr.Bound, "done", pr.Done)
+		}
+	}
+	return opts
+}
+
 // solveInstance dispatches one tile to the chosen solver. The Normal
 // baseline derives its randomness from (Seed, I, J) so tiles can be solved
 // in any order — or concurrently — with identical results. A cancelled
 // context surfaces as the context's error; for the ILP methods the
 // branch-and-bound search itself is interrupted mid-tile.
-func (e *Engine) solveInstance(ctx context.Context, method Method, in *Instance) (Assignment, int, int, error) {
+func (e *Engine) solveInstance(ctx context.Context, method Method, in *Instance, lane int, span obs.SpanID) (Assignment, int, int, error) {
 	if err := ctx.Err(); err != nil {
 		return nil, 0, 0, err
 	}
@@ -328,7 +399,7 @@ func (e *Engine) solveInstance(ctx context.Context, method Method, in *Instance)
 		a, err := SolveDPContext(ctx, in)
 		return a, 0, 0, err
 	case ILPI:
-		a, sol, err := SolveILPI(in, e.ilpOpts(ctx))
+		a, sol, err := SolveILPI(in, e.solveOpts(ctx, in, lane, span))
 		if ctxErr := ctx.Err(); ctxErr != nil {
 			return nil, 0, 0, ctxErr
 		}
@@ -342,7 +413,7 @@ func (e *Engine) solveInstance(ctx context.Context, method Method, in *Instance)
 		if e.Cfg.NetCap > 0 {
 			nc = &NetCap{MaxAddedDelay: e.Cfg.NetCap}
 		}
-		a, sol, err := SolveILPII(in, e.ilpOpts(ctx), nc)
+		a, sol, err := SolveILPII(in, e.solveOpts(ctx, in, lane, span), nc)
 		if ctxErr := ctx.Err(); ctxErr != nil {
 			return nil, 0, 0, ctxErr
 		}
@@ -376,6 +447,11 @@ func (e *Engine) RunContext(ctx context.Context, method Method, instances []*Ins
 		PerNet: make([]float64, len(e.L.Nets)),
 	}
 	start := time.Now()
+	tr := e.Cfg.Trace
+	run := tr.Start("phase", "run", 0, 0)
+	run.Arg("method", int64(method))
+	run.Arg("tiles", int64(len(instances)))
+	defer run.End()
 
 	type outcome struct {
 		a      Assignment
@@ -385,16 +461,32 @@ func (e *Engine) RunContext(ctx context.Context, method Method, instances []*Ins
 		err    error
 	}
 	outs := make([]outcome, len(instances))
-	solveOne := func(i int) {
+	solveOne := func(worker, i int) {
+		in := instances[i]
+		lane := 1 + worker
+		tile := tr.Start("tile", "tile", lane, run.ID())
+		tile.Arg("i", int64(in.I))
+		tile.Arg("j", int64(in.J))
 		solveStart := time.Now()
-		a, nodes, pivots, err := e.solveInstance(ctx, method, instances[i])
-		outs[i] = outcome{a, nodes, pivots, time.Since(solveStart), err}
+		solve := tr.Start("solve", "solve", lane, tile.ID())
+		a, nodes, pivots, err := e.solveInstance(ctx, method, in, lane, solve.ID())
+		solve.Arg("nodes", int64(nodes))
+		solve.Arg("pivots", int64(pivots))
+		solve.End()
+		dur := time.Since(solveStart)
+		tile.End()
+		outs[i] = outcome{a, nodes, pivots, dur, err}
+		if lg := e.Cfg.Logger; lg != nil && err == nil &&
+			e.Cfg.SlowTile > 0 && dur >= e.Cfg.SlowTile {
+			lg.Warn("slow tile", "i", in.I, "j", in.J, "method", method.String(),
+				"dur", dur, "nodes", nodes, "pivots", pivots)
+		}
 	}
 	if workers := e.Cfg.Workers; workers > 1 && len(instances) > 1 {
-		fanOut(workers, len(instances), solveOne)
+		fanOutWorker(workers, len(instances), solveOne)
 	} else {
 		for i := range instances {
-			solveOne(i)
+			solveOne(0, i)
 		}
 	}
 

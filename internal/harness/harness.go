@@ -7,6 +7,7 @@ package harness
 import (
 	"fmt"
 	"io"
+	"log/slog"
 	"time"
 
 	"pilfill/internal/cap"
@@ -15,6 +16,7 @@ import (
 	"pilfill/internal/geom"
 	"pilfill/internal/ilp"
 	"pilfill/internal/layout"
+	"pilfill/internal/obs"
 	"pilfill/internal/rc"
 	"pilfill/internal/scanline"
 	"pilfill/internal/testcases"
@@ -86,10 +88,25 @@ func layoutFor(name string) (*layout.Layout, layout.FillRule, error) {
 	return l, spec.Rule, err
 }
 
+// Obs carries the optional observability hooks of a harness run: a span
+// tracer (run → tile → solve hierarchy, exportable as a Chrome trace) and a
+// structured logger (slow-tile warnings, ILP progress). The zero value is
+// fully disabled and free.
+type Obs struct {
+	Trace    *obs.Tracer
+	Logger   *slog.Logger
+	SlowTile time.Duration // per-tile solve warn threshold; 0 off
+}
+
 // RunRow executes one table row: prep the layout at (W, r), budget the fill,
 // and run all four methods on the identical budget. weighted selects the
 // Table 2 objective (and τ column).
 func RunRow(caseName string, w, r int, weighted bool) (*Row, error) {
+	return RunRowObs(caseName, w, r, weighted, Obs{})
+}
+
+// RunRowObs is RunRow with observability hooks threaded into the engine.
+func RunRowObs(caseName string, w, r int, weighted bool, ob Obs) (*Row, error) {
 	l, rule, err := layoutFor(caseName)
 	if err != nil {
 		return nil, err
@@ -103,6 +120,9 @@ func RunRow(caseName string, w, r int, weighted bool) (*Row, error) {
 		Weighted: weighted,
 		Seed:     1,
 		ILPOpts:  ilp.Options{MaxNodes: 20000},
+		Trace:    ob.Trace,
+		Logger:   ob.Logger,
+		SlowTile: ob.SlowTile,
 	})
 	if err != nil {
 		return nil, err

@@ -116,6 +116,14 @@ type Options struct {
 	// enables reduced-cost bound tightening; it never changes the returned
 	// status or objective, only the work needed to prove them.
 	Incumbent []float64
+	// Progress, when non-nil, is called every ProgressEvery nodes and once
+	// more just before Solve returns, with a point-in-time view of the
+	// search. It runs on the solving goroutine — keep it cheap (log a line,
+	// record a trace event); it must not call back into the solver.
+	Progress func(Progress)
+	// ProgressEvery is the node interval between Progress calls; 0 means
+	// DefaultProgressEvery. Ignored when Progress is nil.
+	ProgressEvery int
 	// WarmStart additionally passes the current incumbent to every node LP
 	// as a pivot-path hint (lp.Problem.Hint). Profitable when the incumbent
 	// sits near the LP relaxation optimum (ILP-I's slope greedy is exactly
@@ -127,6 +135,28 @@ type Options struct {
 
 // DefaultMaxNodes is the node budget applied when Options.MaxNodes is zero.
 const DefaultMaxNodes = 200_000
+
+// DefaultProgressEvery is the node interval between Progress callbacks when
+// Options.ProgressEvery is zero.
+const DefaultProgressEvery = 256
+
+// Progress is a point-in-time view of the branch-and-bound search, passed
+// to Options.Progress. The incumbent/bound pair is the optimality gap: the
+// search ends when every open node's bound reaches the incumbent.
+type Progress struct {
+	Nodes    int  // nodes explored so far
+	LPPivots int  // simplex pivots summed over all node LPs
+	Open     int  // nodes still queued
+	Done     bool // true on the final callback before Solve returns
+	// Incumbent is the best integer objective found so far; valid only when
+	// HasIncumbent.
+	Incumbent    float64
+	HasIncumbent bool
+	// Bound is the LP bound of the most recently popped node. Under
+	// best-first ordering it is a global lower bound on the optimum
+	// (-Inf until the root LP is solved).
+	Bound float64
+}
 
 // ErrBadProblem indicates structurally invalid input.
 var ErrBadProblem = errors.New("ilp: invalid problem")
@@ -231,15 +261,16 @@ func Solve(p *Problem, opts *Options) (*Solution, error) {
 	}
 
 	s := &searcher{
-		p:        p,
-		opts:     o,
-		deadline: deadline,
-		ws:       lp.NewWorkspace(),
-		best:     math.Inf(1),
-		baseLo:   make([]float64, p.NumVars),
-		baseUp:   make([]float64, p.NumVars),
-		lo:       make([]float64, p.NumVars),
-		up:       make([]float64, p.NumVars),
+		p:         p,
+		opts:      o,
+		deadline:  deadline,
+		ws:        lp.NewWorkspace(),
+		best:      math.Inf(1),
+		lastBound: math.Inf(-1),
+		baseLo:    make([]float64, p.NumVars),
+		baseUp:    make([]float64, p.NumVars),
+		lo:        make([]float64, p.NumVars),
+		up:        make([]float64, p.NumVars),
 	}
 	for j := 0; j < p.NumVars; j++ {
 		s.baseUp[j] = p.upper(j)
@@ -252,17 +283,29 @@ func Solve(p *Problem, opts *Options) (*Solution, error) {
 		}
 	}
 
+	every := o.ProgressEvery
+	if every <= 0 {
+		every = DefaultProgressEvery
+	}
+	finish := func(complete bool, open int) *Solution {
+		sol := s.finish(complete)
+		if o.Progress != nil {
+			o.Progress(s.progress(open, true))
+		}
+		return sol
+	}
 	h := &nodeHeap{{lower: math.Inf(-1)}}
 	for h.Len() > 0 {
 		if s.nodes >= o.MaxNodes || (!deadline.IsZero() && time.Now().After(deadline)) ||
 			(o.Cancel != nil && o.Cancel()) {
-			return s.finish(false), nil
+			return finish(false, h.Len()), nil
 		}
 		n := heap.Pop(h).(*node)
 		if n.lower >= s.best-1e-9 {
 			// Best-first ordering means every remaining node is pruned too.
-			return s.finish(true), nil
+			return finish(true, 0), nil
 		}
+		s.lastBound = n.lower
 		children, err := s.expand(n)
 		if err != nil {
 			return nil, err
@@ -272,26 +315,46 @@ func Solve(p *Problem, opts *Options) (*Solution, error) {
 			c.seq = s.seq
 			heap.Push(h, c)
 		}
+		if o.Progress != nil && s.nodes%every == 0 {
+			o.Progress(s.progress(h.Len(), false))
+		}
 	}
-	return s.finish(true), nil
+	return finish(true, 0), nil
+}
+
+// progress assembles the point-in-time view passed to Options.Progress.
+func (s *searcher) progress(open int, done bool) Progress {
+	p := Progress{
+		Nodes:    s.nodes,
+		LPPivots: s.pivots,
+		Open:     open,
+		Done:     done,
+		Bound:    s.lastBound,
+	}
+	if s.bestX != nil {
+		p.Incumbent = s.best
+		p.HasIncumbent = true
+	}
+	return p
 }
 
 type searcher struct {
-	p        *Problem
-	opts     Options
-	deadline time.Time
-	ws       *lp.Workspace
-	baseLo   []float64 // root bound box (tightened in place by tightenRoot)
-	baseUp   []float64
-	lo, up   []float64 // scratch: current node's materialized bound box
-	best     float64
-	bestX    []float64
-	seeded   bool // bestX came from Options.Incumbent
-	nodes    int
-	pivots   int
-	seq      int
-	rootUnbd bool
-	sawRoot  bool
+	p         *Problem
+	opts      Options
+	deadline  time.Time
+	ws        *lp.Workspace
+	baseLo    []float64 // root bound box (tightened in place by tightenRoot)
+	baseUp    []float64
+	lo, up    []float64 // scratch: current node's materialized bound box
+	best      float64
+	bestX     []float64
+	seeded    bool // bestX came from Options.Incumbent
+	nodes     int
+	pivots    int
+	seq       int
+	rootUnbd  bool
+	sawRoot   bool
+	lastBound float64 // LP bound of the most recently popped node
 }
 
 // expand solves the node's LP relaxation and returns child nodes (if any).

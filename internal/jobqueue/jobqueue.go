@@ -16,6 +16,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"log/slog"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -82,6 +83,9 @@ type Config struct {
 	// a job reaches a terminal state — the hook the server's metrics hang
 	// off. It may be called from worker goroutines and from Cancel.
 	OnFinish func(Snapshot)
+	// Logger, when non-nil, receives one Info line per job state
+	// transition (started, finished with its terminal state and duration).
+	Logger *slog.Logger
 }
 
 // SubmitOptions carries per-job knobs.
@@ -279,9 +283,7 @@ func (q *Queue) Cancel(id string) (Snapshot, error) {
 		j.err = context.Canceled
 		snap := j.snapshotLocked()
 		j.mu.Unlock()
-		if q.cfg.OnFinish != nil {
-			q.cfg.OnFinish(snap)
-		}
+		q.finish(snap)
 		return snap, nil
 	case Running:
 		j.cancelRequested = true
@@ -378,9 +380,7 @@ func (q *Queue) runJob(j *job) {
 		j.err = errShutdown
 		snap := j.snapshotLocked()
 		j.mu.Unlock()
-		if q.cfg.OnFinish != nil {
-			q.cfg.OnFinish(snap)
-		}
+		q.finish(snap)
 		return
 	}
 	ctx, cancel := context.WithCancelCause(q.baseCtx)
@@ -394,6 +394,9 @@ func (q *Queue) runJob(j *job) {
 	j.cancel = cancel
 	task := j.task
 	j.mu.Unlock()
+	if lg := q.cfg.Logger; lg != nil {
+		lg.Info("job started", "job", j.id)
+	}
 
 	result, err := runTask(task, runCtx, j.setPhase)
 	stopTimer()
@@ -419,6 +422,25 @@ func (q *Queue) runJob(j *job) {
 	}
 	snap := j.snapshotLocked()
 	j.mu.Unlock()
+	q.finish(snap)
+}
+
+// finish logs a job's terminal transition and fires the OnFinish hook; it
+// must be called outside all queue and job locks.
+func (q *Queue) finish(snap Snapshot) {
+	if lg := q.cfg.Logger; lg != nil {
+		dur := time.Duration(0)
+		if !snap.Started.IsZero() {
+			dur = snap.Finished.Sub(snap.Started)
+		}
+		if snap.Err != nil {
+			lg.Info("job finished", "job", snap.ID, "state", snap.State.String(),
+				"dur", dur, "err", snap.Err)
+		} else {
+			lg.Info("job finished", "job", snap.ID, "state", snap.State.String(),
+				"dur", dur)
+		}
+	}
 	if q.cfg.OnFinish != nil {
 		q.cfg.OnFinish(snap)
 	}

@@ -221,7 +221,19 @@ type Workspace struct {
 	crash    []int       // scratch per-constraint crash column, -1 if none
 	preflip  []bool      // scratch per-variable hint-driven start at upper bound
 	pivots   int
+	stats    WorkspaceStats
 }
+
+// WorkspaceStats are cumulative counters across every Solve on one
+// workspace — the LP-level work measure behind the ilp progress callback
+// and the observability layer's pivot counters.
+type WorkspaceStats struct {
+	Solves int // completed Solve calls (≈ branch-and-bound nodes when driven by ilp)
+	Pivots int // simplex iterations (pivots and bound flips) summed over those solves
+}
+
+// Stats returns the workspace's cumulative solve/pivot counters.
+func (ws *Workspace) Stats() WorkspaceStats { return ws.stats }
 
 // NewWorkspace returns an empty reusable workspace.
 func NewWorkspace() *Workspace { return &Workspace{} }
@@ -264,6 +276,15 @@ func growOp(s []Op, n int) []Op {
 
 // Solve optimizes the problem reusing the workspace's buffers.
 func (ws *Workspace) Solve(p *Problem) (*Solution, error) {
+	sol, err := ws.solve(p)
+	if sol != nil {
+		ws.stats.Solves++
+		ws.stats.Pivots += sol.Pivots
+	}
+	return sol, err
+}
+
+func (ws *Workspace) solve(p *Problem) (*Solution, error) {
 	if err := p.Validate(); err != nil {
 		return nil, err
 	}

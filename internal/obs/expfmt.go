@@ -1,0 +1,344 @@
+// expfmt.go is a strict parser/linter for the Prometheus text exposition
+// format (version 0.0.4) emitted by Registry.Write. It exists so tests —
+// and the trace-smoke tooling — can validate every emitted metric family
+// structurally: HELP/TYPE present and consistent, samples grouped under
+// their family, histogram buckets cumulative and capped by an le="+Inf"
+// bucket equal to _count, counters named *_total.
+package obs
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// ExpSample is one parsed sample line.
+type ExpSample struct {
+	Name   string // full series name, including _bucket/_sum/_count suffixes
+	Labels map[string]string
+	Value  float64
+}
+
+// ExpFamily is one parsed metric family.
+type ExpFamily struct {
+	Name    string
+	Help    string
+	Type    string
+	Samples []ExpSample
+}
+
+// ParseExposition parses a text-format exposition strictly: every sample
+// must follow its family's # HELP and # TYPE lines, names must be unique
+// per family, and values must parse. It returns the families in order of
+// appearance.
+func ParseExposition(r io.Reader) ([]*ExpFamily, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	var fams []*ExpFamily
+	byName := map[string]*ExpFamily{}
+	var cur *ExpFamily
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		ln := sc.Text()
+		if strings.TrimSpace(ln) == "" {
+			continue
+		}
+		switch {
+		case strings.HasPrefix(ln, "# HELP "):
+			rest := strings.TrimPrefix(ln, "# HELP ")
+			name, help, ok := strings.Cut(rest, " ")
+			if !ok || name == "" {
+				return nil, fmt.Errorf("line %d: malformed HELP line %q", lineNo, ln)
+			}
+			if byName[name] != nil {
+				return nil, fmt.Errorf("line %d: duplicate HELP for family %q", lineNo, name)
+			}
+			cur = &ExpFamily{Name: name, Help: help}
+			byName[name] = cur
+			fams = append(fams, cur)
+		case strings.HasPrefix(ln, "# TYPE "):
+			fields := strings.Fields(strings.TrimPrefix(ln, "# TYPE "))
+			if len(fields) != 2 {
+				return nil, fmt.Errorf("line %d: malformed TYPE line %q", lineNo, ln)
+			}
+			name, typ := fields[0], fields[1]
+			switch typ {
+			case "counter", "gauge", "histogram", "summary", "untyped":
+			default:
+				return nil, fmt.Errorf("line %d: unknown metric type %q", lineNo, typ)
+			}
+			if cur == nil || cur.Name != name {
+				return nil, fmt.Errorf("line %d: TYPE for %q does not follow its HELP line", lineNo, name)
+			}
+			if cur.Type != "" {
+				return nil, fmt.Errorf("line %d: duplicate TYPE for family %q", lineNo, name)
+			}
+			cur.Type = typ
+		case strings.HasPrefix(ln, "#"):
+			// Other comments are legal and ignored.
+		default:
+			s, err := parseSampleLine(ln)
+			if err != nil {
+				return nil, fmt.Errorf("line %d: %w", lineNo, err)
+			}
+			if cur == nil || !belongsTo(s.Name, cur) {
+				return nil, fmt.Errorf("line %d: sample %q outside its family block", lineNo, s.Name)
+			}
+			cur.Samples = append(cur.Samples, s)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return fams, nil
+}
+
+// belongsTo reports whether a series name is part of a family: the family
+// name itself, or the histogram/summary sub-series.
+func belongsTo(series string, f *ExpFamily) bool {
+	if series == f.Name {
+		return true
+	}
+	if f.Type == "histogram" || f.Type == "summary" {
+		return series == f.Name+"_bucket" || series == f.Name+"_sum" || series == f.Name+"_count"
+	}
+	return false
+}
+
+func parseSampleLine(ln string) (ExpSample, error) {
+	s := ExpSample{Labels: map[string]string{}}
+	rest := ln
+	if i := strings.IndexAny(rest, "{ "); i < 0 {
+		return s, fmt.Errorf("malformed sample %q", ln)
+	} else {
+		s.Name = rest[:i]
+		rest = rest[i:]
+	}
+	if strings.HasPrefix(rest, "{") {
+		end := -1
+		inQuote := false
+		for i := 1; i < len(rest); i++ {
+			switch {
+			case inQuote && rest[i] == '\\':
+				i++ // skip the escaped character
+			case rest[i] == '"':
+				inQuote = !inQuote
+			case !inQuote && rest[i] == '}':
+				end = i
+			}
+			if end >= 0 {
+				break
+			}
+		}
+		if end < 0 {
+			return s, fmt.Errorf("unterminated label set in %q", ln)
+		}
+		if err := parseLabels(rest[1:end], s.Labels); err != nil {
+			return s, fmt.Errorf("%w in %q", err, ln)
+		}
+		rest = rest[end+1:]
+	}
+	fields := strings.Fields(rest)
+	if len(fields) < 1 || len(fields) > 2 { // optional trailing timestamp
+		return s, fmt.Errorf("malformed sample value in %q", ln)
+	}
+	v, err := parseValue(fields[0])
+	if err != nil {
+		return s, fmt.Errorf("bad value %q: %w", fields[0], err)
+	}
+	s.Value = v
+	return s, nil
+}
+
+func parseLabels(body string, out map[string]string) error {
+	for len(body) > 0 {
+		eq := strings.Index(body, "=")
+		if eq <= 0 {
+			return fmt.Errorf("malformed label pair %q", body)
+		}
+		key := strings.TrimSpace(body[:eq])
+		rest := body[eq+1:]
+		if len(rest) == 0 || rest[0] != '"' {
+			return fmt.Errorf("unquoted label value for %q", key)
+		}
+		end := -1
+		for i := 1; i < len(rest); i++ {
+			if rest[i] == '\\' {
+				i++
+				continue
+			}
+			if rest[i] == '"' {
+				end = i
+				break
+			}
+		}
+		if end < 0 {
+			return fmt.Errorf("unterminated label value for %q", key)
+		}
+		val, err := strconv.Unquote(rest[:end+1])
+		if err != nil {
+			return fmt.Errorf("bad label value for %q: %w", key, err)
+		}
+		if _, dup := out[key]; dup {
+			return fmt.Errorf("duplicate label %q", key)
+		}
+		out[key] = val
+		body = strings.TrimPrefix(strings.TrimSpace(rest[end+1:]), ",")
+		body = strings.TrimSpace(body)
+	}
+	return nil
+}
+
+func parseValue(s string) (float64, error) {
+	switch s {
+	case "+Inf":
+		return strconv.ParseFloat("+Inf", 64)
+	case "-Inf":
+		return strconv.ParseFloat("-Inf", 64)
+	}
+	return strconv.ParseFloat(s, 64)
+}
+
+// LintExposition parses and then structurally validates an exposition:
+//
+//   - every family has HELP and TYPE;
+//   - no duplicate series (same name and label set);
+//   - counter family names end in _total;
+//   - histograms: every series carries the same non-le label set, buckets
+//     are cumulative (monotone non-decreasing in le order), an le="+Inf"
+//     bucket exists and equals _count, and _sum/_count are present.
+//
+// It returns the parsed families so callers can make further assertions.
+func LintExposition(r io.Reader) ([]*ExpFamily, error) {
+	fams, err := ParseExposition(r)
+	if err != nil {
+		return nil, err
+	}
+	for _, f := range fams {
+		if f.Type == "" {
+			return nil, fmt.Errorf("family %q has no TYPE line", f.Name)
+		}
+		if strings.TrimSpace(f.Help) == "" {
+			return nil, fmt.Errorf("family %q has an empty HELP line", f.Name)
+		}
+		if f.Type == "counter" && !strings.HasSuffix(f.Name, "_total") {
+			return nil, fmt.Errorf("counter %q does not end in _total", f.Name)
+		}
+		seen := map[string]bool{}
+		for _, s := range f.Samples {
+			key := s.Name + labelKey(s.Labels, "")
+			if seen[key] {
+				return nil, fmt.Errorf("duplicate series %s", key)
+			}
+			seen[key] = true
+		}
+		if f.Type == "histogram" {
+			if err := lintHistogram(f); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return fams, nil
+}
+
+// lintHistogram validates one histogram family, grouping its series by the
+// non-le label set (one group per vec label value).
+func lintHistogram(f *ExpFamily) error {
+	type group struct {
+		bucketLE  []float64
+		bucketVal []float64
+		sum       *float64
+		count     *float64
+	}
+	groups := map[string]*group{}
+	get := func(s ExpSample) *group {
+		key := labelKey(s.Labels, "le")
+		g := groups[key]
+		if g == nil {
+			g = &group{}
+			groups[key] = g
+		}
+		return g
+	}
+	for _, s := range f.Samples {
+		g := get(s)
+		switch s.Name {
+		case f.Name + "_bucket":
+			le, ok := s.Labels["le"]
+			if !ok {
+				return fmt.Errorf("%s_bucket without le label", f.Name)
+			}
+			ub, err := parseValue(le)
+			if err != nil {
+				return fmt.Errorf("%s_bucket bad le %q: %w", f.Name, le, err)
+			}
+			g.bucketLE = append(g.bucketLE, ub)
+			g.bucketVal = append(g.bucketVal, s.Value)
+		case f.Name + "_sum":
+			v := s.Value
+			g.sum = &v
+		case f.Name + "_count":
+			v := s.Value
+			g.count = &v
+		default:
+			return fmt.Errorf("unexpected series %q in histogram %q", s.Name, f.Name)
+		}
+	}
+	for key, g := range groups {
+		where := f.Name + key
+		if g.sum == nil || g.count == nil {
+			return fmt.Errorf("%s missing _sum or _count", where)
+		}
+		if len(g.bucketLE) == 0 {
+			return fmt.Errorf("%s has no buckets", where)
+		}
+		idx := make([]int, len(g.bucketLE))
+		for i := range idx {
+			idx[i] = i
+		}
+		sort.Slice(idx, func(a, b int) bool { return g.bucketLE[idx[a]] < g.bucketLE[idx[b]] })
+		prev := -1.0
+		for _, i := range idx {
+			if g.bucketVal[i] < prev {
+				return fmt.Errorf("%s buckets not cumulative at le=%g", where, g.bucketLE[i])
+			}
+			prev = g.bucketVal[i]
+		}
+		last := idx[len(idx)-1]
+		if !isInf(g.bucketLE[last]) {
+			return fmt.Errorf("%s missing le=\"+Inf\" bucket", where)
+		}
+		if g.bucketVal[last] != *g.count {
+			return fmt.Errorf("%s le=\"+Inf\" bucket %g != _count %g", where, g.bucketVal[last], *g.count)
+		}
+	}
+	return nil
+}
+
+func isInf(v float64) bool { return v > 1.7e308 }
+
+// labelKey renders a label set (minus one excluded key) canonically for
+// grouping and duplicate detection.
+func labelKey(labels map[string]string, exclude string) string {
+	keys := make([]string, 0, len(labels))
+	for k := range labels {
+		if k != exclude {
+			keys = append(keys, k)
+		}
+	}
+	sort.Strings(keys)
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, k := range keys {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		fmt.Fprintf(&b, "%s=%q", k, labels[k])
+	}
+	b.WriteByte('}')
+	return b.String()
+}

@@ -1,0 +1,52 @@
+// log.go builds the process-wide structured logger: log/slog with a
+// text or JSON handler, a flag-friendly level parser, and a no-op logger
+// for tests and disabled paths.
+package obs
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"log/slog"
+	"strings"
+)
+
+// ParseLevel maps the flag spellings to slog levels: debug, info, warn,
+// error (case-insensitive).
+func ParseLevel(s string) (slog.Level, error) {
+	switch strings.ToLower(strings.TrimSpace(s)) {
+	case "debug":
+		return slog.LevelDebug, nil
+	case "", "info":
+		return slog.LevelInfo, nil
+	case "warn", "warning":
+		return slog.LevelWarn, nil
+	case "error":
+		return slog.LevelError, nil
+	}
+	return 0, fmt.Errorf("obs: unknown log level %q (want debug|info|warn|error)", s)
+}
+
+// NewLogger builds a structured logger writing to w. format selects the
+// handler: "json" for machine-readable lines, anything else for the
+// human-readable text handler.
+func NewLogger(w io.Writer, level slog.Level, format string) *slog.Logger {
+	opts := &slog.HandlerOptions{Level: level}
+	if strings.EqualFold(format, "json") {
+		return slog.New(slog.NewJSONHandler(w, opts))
+	}
+	return slog.New(slog.NewTextHandler(w, opts))
+}
+
+// discardHandler drops every record without formatting it (slog's own
+// DiscardHandler arrived after Go 1.22, which this module targets).
+type discardHandler struct{}
+
+func (discardHandler) Enabled(context.Context, slog.Level) bool  { return false }
+func (discardHandler) Handle(context.Context, slog.Record) error { return nil }
+func (discardHandler) WithAttrs([]slog.Attr) slog.Handler        { return discardHandler{} }
+func (discardHandler) WithGroup(string) slog.Handler             { return discardHandler{} }
+
+// Nop returns a logger whose handler reports disabled at every level, so
+// call sites pay only the Enabled check.
+func Nop() *slog.Logger { return slog.New(discardHandler{}) }

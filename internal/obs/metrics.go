@@ -1,0 +1,405 @@
+// metrics.go is a dependency-free Prometheus text-format metrics registry:
+// counters, settable gauges, fixed-bucket histograms (plain and
+// single-label vectors), and scrape-time sample callbacks for values owned
+// elsewhere (queue stats, cache counters). Every family is emitted with its
+// # HELP and # TYPE lines in registration order, so one registry is the
+// shared exposition path of the daemon, the CLIs and the benchmarks.
+package obs
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// Label is one name="value" pair on a sample.
+type Label struct {
+	Name  string
+	Value string
+}
+
+// Sample is one exposition line produced by a sample callback.
+type Sample struct {
+	Labels []Label
+	Value  float64
+}
+
+// family is one metric family: a fixed name/help/type plus a collect
+// function producing its samples at scrape time.
+type family struct {
+	name, help, typ string
+	collect         func() []line
+}
+
+// line is a rendered sample: an optional name suffix (histogram series),
+// labels, and the value.
+type line struct {
+	suffix string
+	labels []Label
+	value  float64
+}
+
+// Registry holds metric families and renders the text exposition. Create
+// with NewRegistry; registration methods panic on duplicate or empty names
+// (programmer error, caught at startup).
+type Registry struct {
+	mu     sync.Mutex
+	fams   []*family
+	byName map[string]bool
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{byName: make(map[string]bool)}
+}
+
+func (r *Registry) add(name, help, typ string, collect func() []line) {
+	if name == "" || help == "" {
+		panic(fmt.Sprintf("obs: metric %q registered without name or help", name))
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.byName[name] {
+		panic(fmt.Sprintf("obs: duplicate metric %q", name))
+	}
+	r.byName[name] = true
+	r.fams = append(r.fams, &family{name: name, help: help, typ: typ, collect: collect})
+}
+
+// Counter is a monotonically increasing float64.
+type Counter struct {
+	mu sync.Mutex
+	v  float64
+}
+
+// Add increases the counter; negative deltas are ignored.
+func (c *Counter) Add(delta float64) {
+	if delta < 0 {
+		return
+	}
+	c.mu.Lock()
+	c.v += delta
+	c.mu.Unlock()
+}
+
+// Inc adds one.
+func (c *Counter) Inc() { c.Add(1) }
+
+// Value returns the current count.
+func (c *Counter) Value() float64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.v
+}
+
+// Counter registers and returns a counter. By convention the name should
+// end in _total.
+func (r *Registry) Counter(name, help string) *Counter {
+	c := &Counter{}
+	r.add(name, help, "counter", func() []line {
+		return []line{{value: c.Value()}}
+	})
+	return c
+}
+
+// CounterVec is a counter family keyed by one label.
+type CounterVec struct {
+	key string
+	mu  sync.Mutex
+	m   map[string]float64
+}
+
+// Add increases the counter for a label value.
+func (v *CounterVec) Add(labelValue string, delta float64) {
+	if delta < 0 {
+		return
+	}
+	v.mu.Lock()
+	v.m[labelValue] += delta
+	v.mu.Unlock()
+}
+
+// Inc adds one for a label value.
+func (v *CounterVec) Inc(labelValue string) { v.Add(labelValue, 1) }
+
+// CounterVec registers a single-label counter family. Label values appear
+// in the exposition sorted, only once first observed.
+func (r *Registry) CounterVec(name, help, labelKey string) *CounterVec {
+	v := &CounterVec{key: labelKey, m: make(map[string]float64)}
+	r.add(name, help, "counter", func() []line {
+		v.mu.Lock()
+		defer v.mu.Unlock()
+		return vecLines(v.key, v.m)
+	})
+	return v
+}
+
+// Gauge is a settable instantaneous value.
+type Gauge struct {
+	mu sync.Mutex
+	v  float64
+}
+
+// Set replaces the gauge's value.
+func (g *Gauge) Set(v float64) {
+	g.mu.Lock()
+	g.v = v
+	g.mu.Unlock()
+}
+
+// Value returns the current value.
+func (g *Gauge) Value() float64 {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.v
+}
+
+// Gauge registers and returns a settable gauge.
+func (r *Registry) Gauge(name, help string) *Gauge {
+	g := &Gauge{}
+	r.add(name, help, "gauge", func() []line {
+		return []line{{value: g.Value()}}
+	})
+	return g
+}
+
+// GaugeVec is a gauge family keyed by one label.
+type GaugeVec struct {
+	key string
+	mu  sync.Mutex
+	m   map[string]float64
+}
+
+// Set replaces the gauge for a label value.
+func (v *GaugeVec) Set(labelValue string, value float64) {
+	v.mu.Lock()
+	v.m[labelValue] = value
+	v.mu.Unlock()
+}
+
+// GaugeVec registers a single-label gauge family.
+func (r *Registry) GaugeVec(name, help, labelKey string) *GaugeVec {
+	v := &GaugeVec{key: labelKey, m: make(map[string]float64)}
+	r.add(name, help, "gauge", func() []line {
+		v.mu.Lock()
+		defer v.mu.Unlock()
+		return vecLines(v.key, v.m)
+	})
+	return v
+}
+
+// GaugeSamples registers a gauge family whose samples are produced by fn at
+// scrape time — for values owned elsewhere (queue stats, build info).
+func (r *Registry) GaugeSamples(name, help string, fn func() []Sample) {
+	r.add(name, help, "gauge", func() []line { return sampleLines(fn()) })
+}
+
+// CounterSamples registers a counter family whose samples are produced by
+// fn at scrape time (the producer guarantees monotonicity).
+func (r *Registry) CounterSamples(name, help string, fn func() []Sample) {
+	r.add(name, help, "counter", func() []line { return sampleLines(fn()) })
+}
+
+func sampleLines(samples []Sample) []line {
+	out := make([]line, 0, len(samples))
+	for _, s := range samples {
+		out = append(out, line{labels: s.Labels, value: s.Value})
+	}
+	return out
+}
+
+func vecLines(key string, m map[string]float64) []line {
+	vals := make([]string, 0, len(m))
+	for lv := range m {
+		vals = append(vals, lv)
+	}
+	sort.Strings(vals)
+	out := make([]line, 0, len(vals))
+	for _, lv := range vals {
+		out = append(out, line{labels: []Label{{key, lv}}, value: m[lv]})
+	}
+	return out
+}
+
+// DefaultSolveBuckets are histogram upper bounds (seconds) suited to tile
+// and job solve times; +Inf is implicit.
+var DefaultSolveBuckets = []float64{
+	0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1, 2.5, 5, 10, 30, 60,
+}
+
+// histState is the shared storage of Histogram and HistogramVec members:
+// counts are kept cumulative (counts[i] = observations <= bucket[i]).
+type histState struct {
+	counts []int64
+	sum    float64
+	count  int64
+}
+
+func (h *histState) observe(buckets []float64, v float64) {
+	h.sum += v
+	h.count++
+	for i, ub := range buckets {
+		if v <= ub {
+			h.counts[i]++
+		}
+	}
+}
+
+func (h *histState) lines(buckets []float64, extra []Label) []line {
+	out := make([]line, 0, len(buckets)+3)
+	for i, ub := range buckets {
+		out = append(out, line{
+			suffix: "_bucket",
+			labels: append(append([]Label(nil), extra...), Label{"le", FormatFloat(ub)}),
+			value:  float64(h.counts[i]),
+		})
+	}
+	out = append(out,
+		line{suffix: "_bucket", labels: append(append([]Label(nil), extra...), Label{"le", "+Inf"}), value: float64(h.count)},
+		line{suffix: "_sum", labels: extra, value: h.sum},
+		line{suffix: "_count", labels: extra, value: float64(h.count)},
+	)
+	return out
+}
+
+// Histogram is a fixed-bucket histogram.
+type Histogram struct {
+	buckets []float64
+	mu      sync.Mutex
+	st      histState
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v float64) {
+	h.mu.Lock()
+	h.st.observe(h.buckets, v)
+	h.mu.Unlock()
+}
+
+// Histogram registers a histogram with the given bucket upper bounds
+// (DefaultSolveBuckets when nil). Bounds must be strictly increasing.
+func (r *Registry) Histogram(name, help string, buckets []float64) *Histogram {
+	h := &Histogram{buckets: checkBuckets(name, buckets)}
+	h.st.counts = make([]int64, len(h.buckets))
+	r.add(name, help, "histogram", func() []line {
+		h.mu.Lock()
+		defer h.mu.Unlock()
+		return h.st.lines(h.buckets, nil)
+	})
+	return h
+}
+
+// HistogramVec is a histogram family keyed by one label.
+type HistogramVec struct {
+	key     string
+	buckets []float64
+	mu      sync.Mutex
+	m       map[string]*histState
+}
+
+// Observe records one value for a label value.
+func (v *HistogramVec) Observe(labelValue string, value float64) {
+	v.mu.Lock()
+	st := v.m[labelValue]
+	if st == nil {
+		st = &histState{counts: make([]int64, len(v.buckets))}
+		v.m[labelValue] = st
+	}
+	st.observe(v.buckets, value)
+	v.mu.Unlock()
+}
+
+// HistogramVec registers a single-label histogram family (e.g. per-method
+// solve times). Buckets default to DefaultSolveBuckets.
+func (r *Registry) HistogramVec(name, help, labelKey string, buckets []float64) *HistogramVec {
+	v := &HistogramVec{key: labelKey, buckets: checkBuckets(name, buckets), m: make(map[string]*histState)}
+	r.add(name, help, "histogram", func() []line {
+		v.mu.Lock()
+		defer v.mu.Unlock()
+		vals := make([]string, 0, len(v.m))
+		for lv := range v.m {
+			vals = append(vals, lv)
+		}
+		sort.Strings(vals)
+		var out []line
+		for _, lv := range vals {
+			out = append(out, v.m[lv].lines(v.buckets, []Label{{v.key, lv}})...)
+		}
+		return out
+	})
+	return v
+}
+
+func checkBuckets(name string, buckets []float64) []float64 {
+	if buckets == nil {
+		buckets = DefaultSolveBuckets
+	}
+	for i := 1; i < len(buckets); i++ {
+		if !(buckets[i] > buckets[i-1]) {
+			panic(fmt.Sprintf("obs: %s: buckets not strictly increasing at %d", name, i))
+		}
+	}
+	return buckets
+}
+
+// Write renders the full exposition in registration order. Serve it with
+// Content-Type "text/plain; version=0.0.4; charset=utf-8".
+func (r *Registry) Write(w io.Writer) error {
+	r.mu.Lock()
+	fams := append([]*family(nil), r.fams...)
+	r.mu.Unlock()
+	for _, f := range fams {
+		if _, err := fmt.Fprintf(w, "# HELP %s %s\n", f.name, escapeHelp(f.help)); err != nil {
+			return err
+		}
+		if _, err := fmt.Fprintf(w, "# TYPE %s %s\n", f.name, f.typ); err != nil {
+			return err
+		}
+		for _, ln := range f.collect() {
+			if _, err := fmt.Fprintf(w, "%s%s%s %s\n",
+				f.name, ln.suffix, formatLabels(ln.labels), FormatFloat(ln.value)); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// FormatFloat renders a sample value the way Prometheus expects: integral
+// values without an exponent or trailing zeros, +Inf spelled literally.
+func FormatFloat(v float64) string {
+	switch {
+	case math.IsInf(v, 1):
+		return "+Inf"
+	case math.IsInf(v, -1):
+		return "-Inf"
+	case v == math.Trunc(v) && math.Abs(v) < 1e15:
+		return fmt.Sprintf("%d", int64(v))
+	}
+	return fmt.Sprintf("%g", v)
+}
+
+func formatLabels(labels []Label) string {
+	if len(labels) == 0 {
+		return ""
+	}
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, l := range labels {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		// %q escapes \, " and newlines exactly as the text format requires.
+		fmt.Fprintf(&b, "%s=%q", l.Name, l.Value)
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+func escapeHelp(h string) string {
+	h = strings.ReplaceAll(h, `\`, `\\`)
+	return strings.ReplaceAll(h, "\n", `\n`)
+}

@@ -1,0 +1,165 @@
+package obs
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+)
+
+// buildRegistry assembles one of every instrument for the round-trip tests.
+func buildRegistry() *Registry {
+	r := NewRegistry()
+	c := r.Counter("test_jobs_total", "Total jobs.")
+	c.Add(5)
+	cv := r.CounterVec("test_finished_total", "Finished jobs by state.", "state")
+	cv.Inc("done")
+	cv.Add("failed", 2)
+	g := r.Gauge("test_depth", "Queue depth.")
+	g.Set(3)
+	gv := r.GaugeVec("test_jobs", "Jobs by state.", "state")
+	gv.Set("pending", 1)
+	gv.Set("running", 2)
+	r.GaugeSamples("test_build_info", "Build information.", func() []Sample {
+		return []Sample{{Labels: []Label{{"version", "v1.2.3"}, {"go_version", "go1.22"}}, Value: 1}}
+	})
+	r.CounterSamples("test_cache_hits_total", "Cache hits.", func() []Sample {
+		return []Sample{{Value: 42}}
+	})
+	h := r.Histogram("test_solve_seconds", "Solve time.", nil)
+	h.Observe(0.003)
+	h.Observe(0.7)
+	h.Observe(120)
+	hv := r.HistogramVec("test_method_seconds", "Solve time by method.", "method", []float64{0.1, 1, 10})
+	hv.Observe("ILP-I", 0.05)
+	hv.Observe("ILP-I", 5)
+	hv.Observe("Greedy", 0.01)
+	return r
+}
+
+// TestExpositionLint is the strict text-format test: every family the
+// registry emits must pass the structural linter (HELP/TYPE consistency,
+// cumulative buckets, le="+Inf" == _count, counters named _total).
+func TestExpositionLint(t *testing.T) {
+	var buf bytes.Buffer
+	if err := buildRegistry().Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	fams, err := LintExposition(strings.NewReader(buf.String()))
+	if err != nil {
+		t.Fatalf("lint failed: %v\nexposition:\n%s", err, buf.String())
+	}
+	if len(fams) != 8 {
+		t.Fatalf("got %d families, want 8", len(fams))
+	}
+	byName := map[string]*ExpFamily{}
+	for _, f := range fams {
+		byName[f.Name] = f
+	}
+	if f := byName["test_build_info"]; f == nil || len(f.Samples) != 1 ||
+		f.Samples[0].Labels["version"] != "v1.2.3" || f.Samples[0].Labels["go_version"] != "go1.22" {
+		t.Errorf("build_info family wrong: %+v", f)
+	}
+	if f := byName["test_method_seconds"]; f == nil {
+		t.Error("missing vec histogram family")
+	} else {
+		// Two label groups, each with 3+1 buckets + sum + count.
+		if len(f.Samples) != 2*(4+2) {
+			t.Errorf("vec histogram has %d samples, want 12", len(f.Samples))
+		}
+	}
+	if f := byName["test_finished_total"]; f.Samples[0].Labels["state"] != "done" || f.Samples[0].Value != 1 {
+		t.Errorf("counter vec samples: %+v", f.Samples)
+	}
+}
+
+func TestHistogramBucketSemantics(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("h_seconds", "help", []float64{1, 2, 4})
+	for _, v := range []float64{0.5, 1.5, 3, 100} {
+		h.Observe(v)
+	}
+	var buf bytes.Buffer
+	if err := r.Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	fams, err := LintExposition(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := map[string]float64{"1": 1, "2": 2, "4": 3, "+Inf": 4}
+	for _, s := range fams[0].Samples {
+		if s.Name == "h_seconds_bucket" {
+			if s.Value != want[s.Labels["le"]] {
+				t.Errorf("bucket le=%s = %g, want %g", s.Labels["le"], s.Value, want[s.Labels["le"]])
+			}
+		}
+		if s.Name == "h_seconds_sum" && math.Abs(s.Value-105) > 1e-9 {
+			t.Errorf("sum = %g, want 105", s.Value)
+		}
+	}
+}
+
+func TestLintCatchesViolations(t *testing.T) {
+	cases := map[string]string{
+		"missing TYPE":          "# HELP x_total help\nx_total 1\n",
+		"missing HELP":          "# TYPE x_total counter\nx_total 1\n",
+		"counter not _total":    "# HELP x help\n# TYPE x counter\nx 1\n",
+		"sample outside family": "# HELP a_total help\n# TYPE a_total counter\nb_total 1\n",
+		"duplicate series":      "# HELP a_total h\n# TYPE a_total counter\na_total 1\na_total 2\n",
+		"non-cumulative buckets": "# HELP h h\n# TYPE h histogram\n" +
+			"h_bucket{le=\"1\"} 5\nh_bucket{le=\"2\"} 3\nh_bucket{le=\"+Inf\"} 5\nh_sum 1\nh_count 5\n",
+		"+Inf != count": "# HELP h h\n# TYPE h histogram\n" +
+			"h_bucket{le=\"1\"} 1\nh_bucket{le=\"+Inf\"} 2\nh_sum 1\nh_count 3\n",
+		"no +Inf bucket": "# HELP h h\n# TYPE h histogram\n" +
+			"h_bucket{le=\"1\"} 1\nh_sum 1\nh_count 1\n",
+	}
+	for name, exp := range cases {
+		if _, err := LintExposition(strings.NewReader(exp)); err == nil {
+			t.Errorf("%s: lint accepted invalid exposition", name)
+		}
+	}
+}
+
+func TestLabelEscaping(t *testing.T) {
+	r := NewRegistry()
+	gv := r.GaugeVec("g", "help", "k")
+	gv.Set(`quo"te\back`, 1)
+	var buf bytes.Buffer
+	if err := r.Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	fams, err := LintExposition(&buf)
+	if err != nil {
+		t.Fatalf("lint: %v\n%s", err, buf.String())
+	}
+	if got := fams[0].Samples[0].Labels["k"]; got != `quo"te\back` {
+		t.Errorf("label round-trip = %q", got)
+	}
+}
+
+func TestFormatFloat(t *testing.T) {
+	cases := map[float64]string{
+		0:            "0",
+		5:            "5",
+		0.25:         "0.25",
+		math.Inf(1):  "+Inf",
+		math.Inf(-1): "-Inf",
+	}
+	for v, want := range cases {
+		if got := FormatFloat(v); got != want {
+			t.Errorf("FormatFloat(%g) = %q, want %q", v, got, want)
+		}
+	}
+}
+
+func TestDuplicateRegistrationPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("duplicate registration did not panic")
+		}
+	}()
+	r := NewRegistry()
+	r.Counter("dup_total", "help")
+	r.Counter("dup_total", "help")
+}

@@ -1,0 +1,292 @@
+// Package obs is the dependency-free observability layer shared by the
+// library, the CLIs and the pilfilld daemon: a hierarchical span tracer
+// (exportable as Chrome trace-event JSON for Perfetto, or as a top-K
+// slowest-spans table), a Prometheus text-format metrics registry, slog
+// construction helpers, and runtime-profiling hooks.
+//
+// Everything in the package is built to cost nothing when switched off: a
+// nil *Tracer is a valid, disabled tracer whose Start/End/Instant are
+// allocation-free no-ops, so the solve path can call them unconditionally.
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// SpanID identifies a started span within one tracer; 0 means "no parent".
+type SpanID int64
+
+// Arg is one key/value annotation on a span or instant event. The zero Arg
+// (empty Name) is ignored, which lets fixed-arity APIs stand in for
+// variadic ones without allocating.
+type Arg struct {
+	Name  string
+	Value int64
+}
+
+// SpanRec is one recorded event: a completed span (Instant false) with a
+// start and duration, or an instant event (Instant true) marking a point in
+// time. Start is measured from the tracer's epoch.
+type SpanRec struct {
+	ID      SpanID
+	Parent  SpanID
+	TID     int32 // display lane: 0 for the orchestrating goroutine, 1+worker for tile lanes
+	Instant bool
+	Cat     string
+	Name    string
+	Start   time.Duration
+	Dur     time.Duration
+	Args    [2]Arg
+}
+
+// DefaultTraceCapacity bounds the span ring buffer when NewTracer is given
+// a non-positive capacity. At ~100 bytes per record that is a few MiB —
+// enough for every tile of the large testcases with room for progress
+// events; older records are overwritten once the ring wraps.
+const DefaultTraceCapacity = 1 << 16
+
+// Tracer records hierarchical spans into a fixed-size ring buffer. A nil
+// *Tracer is disabled: every method is a cheap, allocation-free no-op, so
+// instrumented code never branches on a "tracing on?" flag of its own.
+//
+// Tracer is safe for concurrent use; span identity is carried by the Span
+// value, so concurrent tiles can record interleaved spans freely.
+type Tracer struct {
+	epoch  time.Time
+	nextID atomic.Int64
+
+	mu  sync.Mutex
+	buf []SpanRec
+	n   int64 // total records ever written; buf index = (n-1) % cap
+}
+
+// NewTracer returns an enabled tracer whose ring buffer holds capacity
+// records (DefaultTraceCapacity when capacity <= 0).
+func NewTracer(capacity int) *Tracer {
+	if capacity <= 0 {
+		capacity = DefaultTraceCapacity
+	}
+	return &Tracer{epoch: time.Now(), buf: make([]SpanRec, 0, capacity)}
+}
+
+// Enabled reports whether the tracer records anything (i.e. is non-nil).
+func (t *Tracer) Enabled() bool { return t != nil }
+
+// Span is an in-flight span handle. It is a plain value — starting and
+// ending a span allocates nothing — and records itself into the tracer's
+// ring buffer on End. The zero Span (from a disabled tracer) is inert.
+type Span struct {
+	t      *Tracer
+	id     SpanID
+	parent SpanID
+	tid    int32
+	nargs  int8
+	cat    string
+	name   string
+	start  time.Duration
+	args   [2]Arg
+}
+
+// Start begins a span. tid selects the display lane in the Chrome trace
+// (use 0 for the orchestrating goroutine and 1+worker for per-worker
+// lanes); parent links the new span under an enclosing one (0 for a root).
+func (t *Tracer) Start(cat, name string, tid int, parent SpanID) Span {
+	if t == nil {
+		return Span{}
+	}
+	return Span{
+		t:      t,
+		id:     SpanID(t.nextID.Add(1)),
+		parent: parent,
+		tid:    int32(tid),
+		cat:    cat,
+		name:   name,
+		start:  time.Since(t.epoch),
+	}
+}
+
+// ID returns the span's identity for parenting children under it (0 when
+// the tracer is disabled).
+func (s *Span) ID() SpanID { return s.id }
+
+// Arg attaches a key/value annotation; at most two are kept per span.
+func (s *Span) Arg(name string, value int64) {
+	if s.t == nil || s.nargs >= int8(len(s.args)) {
+		return
+	}
+	s.args[s.nargs] = Arg{Name: name, Value: value}
+	s.nargs++
+}
+
+// End completes the span and records it.
+func (s *Span) End() {
+	if s.t == nil {
+		return
+	}
+	s.t.record(SpanRec{
+		ID:     s.id,
+		Parent: s.parent,
+		TID:    s.tid,
+		Cat:    s.cat,
+		Name:   s.name,
+		Start:  s.start,
+		Dur:    time.Since(s.t.epoch) - s.start,
+		Args:   s.args,
+	})
+}
+
+// Instant records a point event (e.g. a solver-progress tick) under parent
+// on the given lane. Zero Args are dropped.
+func (t *Tracer) Instant(cat, name string, tid int, parent SpanID, a1, a2 Arg) {
+	if t == nil {
+		return
+	}
+	t.record(SpanRec{
+		ID:      SpanID(t.nextID.Add(1)),
+		Parent:  parent,
+		TID:     int32(tid),
+		Instant: true,
+		Cat:     cat,
+		Name:    name,
+		Start:   time.Since(t.epoch),
+		Args:    [2]Arg{a1, a2},
+	})
+}
+
+func (t *Tracer) record(r SpanRec) {
+	t.mu.Lock()
+	if len(t.buf) < cap(t.buf) {
+		t.buf = append(t.buf, r)
+	} else {
+		t.buf[t.n%int64(cap(t.buf))] = r
+	}
+	t.n++
+	t.mu.Unlock()
+}
+
+// Dropped reports how many records were overwritten by ring wrap-around.
+func (t *Tracer) Dropped() int64 {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.n <= int64(len(t.buf)) {
+		return 0
+	}
+	return t.n - int64(len(t.buf))
+}
+
+// Snapshot returns the retained records in chronological start order.
+func (t *Tracer) Snapshot() []SpanRec {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	out := append([]SpanRec(nil), t.buf...)
+	t.mu.Unlock()
+	sort.SliceStable(out, func(i, j int) bool { return out[i].Start < out[j].Start })
+	return out
+}
+
+// chromeEvent is the trace-event JSON shape Perfetto and chrome://tracing
+// load: complete events carry ph "X" with ts/dur in microseconds; instant
+// events carry ph "i" with thread scope.
+type chromeEvent struct {
+	Name  string         `json:"name"`
+	Cat   string         `json:"cat"`
+	Ph    string         `json:"ph"`
+	TS    float64        `json:"ts"`
+	Dur   *float64       `json:"dur,omitempty"`
+	PID   int            `json:"pid"`
+	TID   int            `json:"tid"`
+	Scope string         `json:"s,omitempty"`
+	Args  map[string]any `json:"args,omitempty"`
+}
+
+// WriteChromeTrace renders the retained records as Chrome trace-event JSON
+// ({"traceEvents": [...]}), loadable in Perfetto (ui.perfetto.dev) or
+// chrome://tracing. Span identity and parentage are preserved in each
+// event's args ("span" and "parent") alongside the Arg annotations.
+func (t *Tracer) WriteChromeTrace(w io.Writer) error {
+	recs := t.Snapshot()
+	events := make([]chromeEvent, 0, len(recs))
+	for _, r := range recs {
+		ev := chromeEvent{
+			Name: r.Name,
+			Cat:  r.Cat,
+			Ph:   "X",
+			TS:   float64(r.Start) / 1e3,
+			PID:  1,
+			TID:  int(r.TID),
+			Args: map[string]any{"span": int64(r.ID), "parent": int64(r.Parent)},
+		}
+		if r.Instant {
+			ev.Ph = "i"
+			ev.Scope = "t"
+		} else {
+			dur := float64(r.Dur) / 1e3
+			ev.Dur = &dur
+		}
+		for _, a := range r.Args {
+			if a.Name != "" {
+				ev.Args[a.Name] = a.Value
+			}
+		}
+		events = append(events, ev)
+	}
+	doc := struct {
+		TraceEvents     []chromeEvent `json:"traceEvents"`
+		DisplayTimeUnit string        `json:"displayTimeUnit"`
+	}{TraceEvents: events, DisplayTimeUnit: "ms"}
+	enc := json.NewEncoder(w)
+	return enc.Encode(doc)
+}
+
+// TopSlow returns the k longest completed spans of the given category
+// (every category when cat is empty), slowest first.
+func (t *Tracer) TopSlow(cat string, k int) []SpanRec {
+	if t == nil || k <= 0 {
+		return nil
+	}
+	var spans []SpanRec
+	t.mu.Lock()
+	for _, r := range t.buf {
+		if !r.Instant && (cat == "" || r.Cat == cat) {
+			spans = append(spans, r)
+		}
+	}
+	t.mu.Unlock()
+	sort.SliceStable(spans, func(i, j int) bool { return spans[i].Dur > spans[j].Dur })
+	if len(spans) > k {
+		spans = spans[:k]
+	}
+	return spans
+}
+
+// WriteTopSlow prints the top-k slowest spans of a category as a table —
+// the "which tile ate the time" view of a run.
+func (t *Tracer) WriteTopSlow(w io.Writer, cat string, k int) {
+	spans := t.TopSlow(cat, k)
+	label := cat
+	if label == "" {
+		label = "span"
+	}
+	fmt.Fprintf(w, "top %d slowest %s spans:\n", len(spans), label)
+	fmt.Fprintf(w, "%4s %-12s %12s  %s\n", "#", "name", "dur (ms)", "args")
+	for i, r := range spans {
+		args := ""
+		for _, a := range r.Args {
+			if a.Name != "" {
+				args += fmt.Sprintf("%s=%d ", a.Name, a.Value)
+			}
+		}
+		fmt.Fprintf(w, "%4d %-12s %12.3f  %s\n", i+1, r.Name, float64(r.Dur)/1e6, args)
+	}
+}

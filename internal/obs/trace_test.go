@@ -1,0 +1,182 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestSpanNesting records a run→tile→solve hierarchy and checks that the
+// recorded parent links and timestamps nest: each child starts after its
+// parent and (for completed parents) ends within it.
+func TestSpanNesting(t *testing.T) {
+	tr := NewTracer(64)
+	run := tr.Start("phase", "run", 0, 0)
+	tile := tr.Start("tile", "tile", 1, run.ID())
+	tile.Arg("i", 3)
+	tile.Arg("j", 7)
+	solve := tr.Start("phase", "solve", 1, tile.ID())
+	time.Sleep(time.Millisecond)
+	solve.End()
+	tile.End()
+	run.End()
+
+	recs := tr.Snapshot()
+	if len(recs) != 3 {
+		t.Fatalf("got %d records, want 3", len(recs))
+	}
+	byName := map[string]SpanRec{}
+	for _, r := range recs {
+		byName[r.Name] = r
+	}
+	if byName["tile"].Parent != byName["run"].ID {
+		t.Errorf("tile parent = %d, want run id %d", byName["tile"].Parent, byName["run"].ID)
+	}
+	if byName["solve"].Parent != byName["tile"].ID {
+		t.Errorf("solve parent = %d, want tile id %d", byName["solve"].Parent, byName["tile"].ID)
+	}
+	for _, pair := range [][2]string{{"run", "tile"}, {"tile", "solve"}} {
+		p, c := byName[pair[0]], byName[pair[1]]
+		if c.Start < p.Start {
+			t.Errorf("%s starts before its parent %s", pair[1], pair[0])
+		}
+		if c.Start+c.Dur > p.Start+p.Dur {
+			t.Errorf("%s ends after its parent %s", pair[1], pair[0])
+		}
+	}
+	if byName["tile"].Args[0] != (Arg{"i", 3}) || byName["tile"].Args[1] != (Arg{"j", 7}) {
+		t.Errorf("tile args = %v", byName["tile"].Args)
+	}
+	if byName["solve"].Dur <= 0 {
+		t.Errorf("solve duration = %v, want > 0", byName["solve"].Dur)
+	}
+}
+
+func TestTracerRingWrap(t *testing.T) {
+	tr := NewTracer(8)
+	for i := 0; i < 20; i++ {
+		sp := tr.Start("c", "s", 0, 0)
+		sp.End()
+	}
+	recs := tr.Snapshot()
+	if len(recs) != 8 {
+		t.Fatalf("retained %d records, want 8", len(recs))
+	}
+	if got := tr.Dropped(); got != 12 {
+		t.Fatalf("Dropped() = %d, want 12", got)
+	}
+	// The retained records are the 8 newest ids (13..20).
+	for _, r := range recs {
+		if r.ID <= 12 {
+			t.Errorf("retained span id %d should have been overwritten", r.ID)
+		}
+	}
+}
+
+func TestChromeTraceJSON(t *testing.T) {
+	tr := NewTracer(0)
+	run := tr.Start("phase", "run", 0, 0)
+	tr.Instant("ilp", "progress", 1, run.ID(), Arg{"nodes", 100}, Arg{})
+	run.End()
+
+	var buf bytes.Buffer
+	if err := tr.WriteChromeTrace(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []map[string]any `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("trace is not valid JSON: %v", err)
+	}
+	if len(doc.TraceEvents) != 2 {
+		t.Fatalf("got %d events, want 2", len(doc.TraceEvents))
+	}
+	phases := map[string]string{}
+	for _, ev := range doc.TraceEvents {
+		phases[ev["name"].(string)] = ev["ph"].(string)
+		for _, k := range []string{"cat", "ts", "pid", "tid", "args"} {
+			if _, ok := ev[k]; !ok {
+				t.Errorf("event %v missing %q", ev["name"], k)
+			}
+		}
+	}
+	if phases["run"] != "X" || phases["progress"] != "i" {
+		t.Errorf("phases = %v, want run:X progress:i", phases)
+	}
+}
+
+func TestTopSlow(t *testing.T) {
+	tr := NewTracer(0)
+	for i, d := range []time.Duration{3, 1, 5, 2, 4} {
+		sp := tr.Start("tile", "tile", 0, 0)
+		sp.Arg("i", int64(i))
+		// Backdate via direct record to avoid sleeping.
+		tr.record(SpanRec{ID: sp.id, Cat: sp.cat, Name: sp.name, Start: sp.start, Dur: d * time.Millisecond, Args: sp.args})
+	}
+	top := tr.TopSlow("tile", 3)
+	if len(top) != 3 {
+		t.Fatalf("got %d spans, want 3", len(top))
+	}
+	if top[0].Dur != 5*time.Millisecond || top[1].Dur != 4*time.Millisecond || top[2].Dur != 3*time.Millisecond {
+		t.Errorf("top durations = %v %v %v", top[0].Dur, top[1].Dur, top[2].Dur)
+	}
+	var buf bytes.Buffer
+	tr.WriteTopSlow(&buf, "tile", 3)
+	if !strings.Contains(buf.String(), "top 3 slowest tile spans") {
+		t.Errorf("table output: %q", buf.String())
+	}
+}
+
+// TestDisabledTracerAllocs is the "spans are free when off" contract: a nil
+// tracer must add zero allocations to the solve path.
+func TestDisabledTracerAllocs(t *testing.T) {
+	var tr *Tracer
+	allocs := testing.AllocsPerRun(1000, func() {
+		sp := tr.Start("tile", "tile", 1, 0)
+		sp.Arg("i", 1)
+		child := tr.Start("phase", "solve", 1, sp.ID())
+		child.End()
+		tr.Instant("ilp", "progress", 1, sp.ID(), Arg{"nodes", 1}, Arg{})
+		sp.End()
+	})
+	if allocs != 0 {
+		t.Fatalf("disabled tracer allocates %.1f per span, want 0", allocs)
+	}
+}
+
+// An enabled tracer should also be allocation-free per span once the ring
+// is warm (records are stored by value into the preallocated buffer).
+func TestEnabledTracerAllocs(t *testing.T) {
+	tr := NewTracer(1 << 12)
+	allocs := testing.AllocsPerRun(1000, func() {
+		sp := tr.Start("tile", "tile", 1, 0)
+		sp.Arg("i", 1)
+		sp.End()
+	})
+	if allocs > 0 {
+		t.Fatalf("enabled tracer allocates %.1f per span, want 0", allocs)
+	}
+}
+
+func TestTracerConcurrent(t *testing.T) {
+	tr := NewTracer(1 << 10)
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				sp := tr.Start("tile", "tile", 1+w, 0)
+				sp.End()
+			}
+		}(w)
+	}
+	wg.Wait()
+	if got := len(tr.Snapshot()); got != 800 {
+		t.Fatalf("retained %d records, want 800", got)
+	}
+}

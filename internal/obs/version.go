@@ -1,0 +1,15 @@
+// version.go carries the build identity stamped by the Makefile:
+//
+//	go build -ldflags "-X pilfill/internal/obs.Version=v1.2.3" ./...
+//
+// It feeds the pilfilld_build_info metric and the CLIs' version output.
+package obs
+
+import "runtime"
+
+// Version is the build version, overridden at link time; "dev" for plain
+// go-build binaries.
+var Version = "dev"
+
+// GoVersion is the toolchain that built the binary.
+func GoVersion() string { return runtime.Version() }

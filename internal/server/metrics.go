@@ -1,166 +1,153 @@
-// metrics.go is a dependency-free Prometheus text-format exposition for
-// pilfilld: gauges sampled at scrape time (queue depth, jobs by state,
-// cap-table cache counters), monotonic counters fed by the job queue's
-// OnFinish hook, and fixed-bucket histograms of solver CPU and wall time.
+// metrics.go assembles pilfilld's Prometheus exposition on the shared
+// obs.Registry: scrape-time gauges (queue depth, jobs by state, cap-table
+// cache counters), monotonic counters fed by the job queue's OnFinish hook,
+// fixed-bucket histograms of solver CPU and wall time — now also broken down
+// per method and per pipeline phase — plus build metadata.
 package server
 
 import (
-	"fmt"
 	"io"
-	"math"
-	"sort"
 	"sync"
+	"time"
 
 	"pilfill/internal/cap"
 	"pilfill/internal/jobqueue"
+	"pilfill/internal/obs"
 )
 
-// solveBuckets are the histogram upper bounds in seconds; +Inf is implicit.
-var solveBuckets = []float64{
-	0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1, 2.5, 5, 10, 30, 60,
-}
-
-// histogram is a fixed-bucket Prometheus histogram.
-type histogram struct {
-	mu     sync.Mutex
-	counts []int64 // per bucket, cumulative written at exposition time
-	sum    float64
-	count  int64
-}
-
-func newHistogram() *histogram {
-	return &histogram{counts: make([]int64, len(solveBuckets))}
-}
-
-func (h *histogram) observe(v float64) {
-	h.mu.Lock()
-	defer h.mu.Unlock()
-	h.sum += v
-	h.count++
-	for i, ub := range solveBuckets {
-		if v <= ub {
-			h.counts[i]++
-		}
-	}
-}
-
-func (h *histogram) write(w io.Writer, name string) {
-	h.mu.Lock()
-	counts := append([]int64(nil), h.counts...)
-	sum, count := h.sum, h.count
-	h.mu.Unlock()
-	fmt.Fprintf(w, "# TYPE %s histogram\n", name)
-	for i, ub := range solveBuckets {
-		fmt.Fprintf(w, "%s_bucket{le=%q} %d\n", name, formatFloat(ub), counts[i])
-	}
-	fmt.Fprintf(w, "%s_bucket{le=\"+Inf\"} %d\n", name, count)
-	fmt.Fprintf(w, "%s_sum %s\n", name, formatFloat(sum))
-	fmt.Fprintf(w, "%s_count %d\n", name, count)
-}
-
-func formatFloat(v float64) string {
-	if v == math.Trunc(v) && math.Abs(v) < 1e15 {
-		return fmt.Sprintf("%d", int64(v))
-	}
-	return fmt.Sprintf("%g", v)
-}
-
-// metrics aggregates pilfilld's counters and histograms. Scrape-time gauges
-// read straight from the queue and the shared cap-table cache.
+// metrics aggregates pilfilld's instruments. Queue-derived values are
+// refreshed into a cached jobqueue.Stats at the top of every scrape, so the
+// sample closures registered below never call back into the queue.
 type metrics struct {
-	mu       sync.Mutex
-	finished map[string]int64 // terminal jobs by final state
-	ilpNodes int64            // branch-and-bound nodes across finished jobs
-	lpPivots int64            // simplex pivots across finished jobs
+	reg *obs.Registry
 
-	solveCPU  *histogram
-	solveWall *histogram
+	finished  *obs.CounterVec   // terminal jobs by final state
+	ilpNodes  *obs.Counter      // branch-and-bound nodes across finished jobs
+	lpPivots  *obs.Counter      // simplex pivots across finished jobs
+	solveCPU  *obs.Histogram    // solver-only CPU seconds per finished job
+	solveWall *obs.Histogram    // end-to-end wall seconds per finished job
+	methodCPU *obs.HistogramVec // solver CPU seconds by placement method
+	phase     *obs.HistogramVec // seconds by pipeline phase
+
+	mu    sync.Mutex
+	queue jobqueue.Stats // refreshed by scrape, read by the sample closures
 }
 
 func newMetrics() *metrics {
-	return &metrics{
-		finished:  make(map[string]int64),
-		solveCPU:  newHistogram(),
-		solveWall: newHistogram(),
+	reg := obs.NewRegistry()
+	m := &metrics{reg: reg}
+
+	reg.GaugeSamples("pilfilld_build_info",
+		"Build metadata; the value is always 1.", func() []obs.Sample {
+			return []obs.Sample{{Labels: []obs.Label{
+				{Name: "version", Value: obs.Version},
+				{Name: "go_version", Value: obs.GoVersion()},
+			}, Value: 1}}
+		})
+	start := reg.Gauge("pilfilld_start_time_seconds",
+		"Unix time the process started, in seconds.")
+	start.Set(float64(time.Now().UnixNano()) / 1e9)
+
+	stats := func() jobqueue.Stats {
+		m.mu.Lock()
+		defer m.mu.Unlock()
+		return m.queue
 	}
+	reg.GaugeSamples("pilfilld_queue_depth", "Jobs waiting to run.",
+		func() []obs.Sample {
+			return []obs.Sample{{Value: float64(stats().Depth())}}
+		})
+	reg.GaugeSamples("pilfilld_queue_capacity", "Configured pending-buffer bound.",
+		func() []obs.Sample {
+			return []obs.Sample{{Value: float64(stats().Capacity)}}
+		})
+	reg.GaugeSamples("pilfilld_queue_workers", "Configured worker count.",
+		func() []obs.Sample {
+			return []obs.Sample{{Value: float64(stats().Workers)}}
+		})
+	reg.GaugeSamples("pilfilld_draining", "1 while the queue is shutting down.",
+		func() []obs.Sample {
+			v := 0.0
+			if stats().Draining {
+				v = 1
+			}
+			return []obs.Sample{{Value: v}}
+		})
+	reg.GaugeSamples("pilfilld_jobs", "Current jobs by state.",
+		func() []obs.Sample {
+			st := stats()
+			out := make([]obs.Sample, 0, 5)
+			for s := jobqueue.Pending; s <= jobqueue.Cancelled; s++ {
+				out = append(out, obs.Sample{
+					Labels: []obs.Label{{Name: "state", Value: s.String()}},
+					Value:  float64(st.ByState[s]),
+				})
+			}
+			return out
+		})
+	reg.CounterSamples("pilfilld_jobs_submitted_total", "Lifetime accepted jobs.",
+		func() []obs.Sample {
+			return []obs.Sample{{Value: float64(stats().Submitted)}}
+		})
+	reg.CounterSamples("pilfilld_jobs_rejected_total",
+		"Submissions rejected by backpressure or drain.", func() []obs.Sample {
+			return []obs.Sample{{Value: float64(stats().Rejected)}}
+		})
+
+	m.finished = reg.CounterVec("pilfilld_jobs_finished_total",
+		"Jobs reaching a terminal state.", "state")
+	m.ilpNodes = reg.Counter("pilfilld_ilp_nodes_total",
+		"Branch-and-bound nodes across finished jobs.")
+	m.lpPivots = reg.Counter("pilfilld_lp_pivots_total",
+		"Simplex pivots across finished jobs.")
+	m.solveCPU = reg.Histogram("pilfilld_solve_cpu_seconds",
+		"Solver-only CPU seconds per finished job.", nil)
+	m.solveWall = reg.Histogram("pilfilld_solve_wall_seconds",
+		"End-to-end wall seconds per finished job.", nil)
+	m.methodCPU = reg.HistogramVec("pilfilld_method_solve_seconds",
+		"Solver-only CPU seconds per finished job, by placement method.",
+		"method", nil)
+	m.phase = reg.HistogramVec("pilfilld_phase_seconds",
+		"Per-phase seconds per finished job (preprocess/solve/evaluate/place).",
+		"phase", nil)
+
+	reg.CounterSamples("pilfilld_captable_cache_hits_total",
+		"Shared cap-table cache hits (process-wide).", func() []obs.Sample {
+			return []obs.Sample{{Value: float64(cap.Shared.Stats().Hits)}}
+		})
+	reg.CounterSamples("pilfilld_captable_cache_misses_total",
+		"Shared cap-table cache misses (process-wide).", func() []obs.Sample {
+			return []obs.Sample{{Value: float64(cap.Shared.Stats().Misses)}}
+		})
+	reg.GaugeSamples("pilfilld_captable_cache_entries",
+		"Shared cap-table cache entries (process-wide).", func() []obs.Sample {
+			return []obs.Sample{{Value: float64(cap.Shared.Stats().Entries)}}
+		})
+	return m
 }
 
 // jobFinished is wired to jobqueue.Config.OnFinish.
 func (m *metrics) jobFinished(snap jobqueue.Snapshot) {
-	m.mu.Lock()
-	m.finished[snap.State.String()]++
-	m.mu.Unlock()
-	if rep, ok := snap.Result.(*ReportPayload); ok && snap.State == jobqueue.Done {
-		m.mu.Lock()
-		m.ilpNodes += int64(rep.ILPNodes)
-		m.lpPivots += int64(rep.LPPivots)
-		m.mu.Unlock()
-		m.solveCPU.observe(rep.SolveCPUMS / 1e3)
-		m.solveWall.observe(rep.WallMS / 1e3)
+	m.finished.Inc(snap.State.String())
+	rep, ok := snap.Result.(*ReportPayload)
+	if !ok || snap.State != jobqueue.Done {
+		return
 	}
+	m.ilpNodes.Add(float64(rep.ILPNodes))
+	m.lpPivots.Add(float64(rep.LPPivots))
+	m.solveCPU.Observe(rep.SolveCPUMS / 1e3)
+	m.solveWall.Observe(rep.WallMS / 1e3)
+	m.methodCPU.Observe(rep.Method, rep.SolveCPUMS/1e3)
+	m.phase.Observe("preprocess", rep.PhasesMS.Preprocess/1e3)
+	m.phase.Observe("solve", rep.PhasesMS.Solve/1e3)
+	m.phase.Observe("evaluate", rep.PhasesMS.Evaluate/1e3)
+	m.phase.Observe("place", rep.PhasesMS.Place/1e3)
 }
 
-// write renders the full exposition.
-func (m *metrics) write(w io.Writer, stats jobqueue.Stats) {
-	fmt.Fprintf(w, "# HELP pilfilld_queue_depth Jobs waiting to run.\n")
-	fmt.Fprintf(w, "# TYPE pilfilld_queue_depth gauge\n")
-	fmt.Fprintf(w, "pilfilld_queue_depth %d\n", stats.Depth())
-	fmt.Fprintf(w, "# TYPE pilfilld_queue_capacity gauge\n")
-	fmt.Fprintf(w, "pilfilld_queue_capacity %d\n", stats.Capacity)
-	fmt.Fprintf(w, "# TYPE pilfilld_queue_workers gauge\n")
-	fmt.Fprintf(w, "pilfilld_queue_workers %d\n", stats.Workers)
-	fmt.Fprintf(w, "# TYPE pilfilld_draining gauge\n")
-	fmt.Fprintf(w, "pilfilld_draining %d\n", boolToInt(stats.Draining))
-
-	fmt.Fprintf(w, "# HELP pilfilld_jobs Current jobs by state.\n")
-	fmt.Fprintf(w, "# TYPE pilfilld_jobs gauge\n")
-	for s := jobqueue.Pending; s <= jobqueue.Cancelled; s++ {
-		fmt.Fprintf(w, "pilfilld_jobs{state=%q} %d\n", s.String(), stats.ByState[s])
-	}
-
-	fmt.Fprintf(w, "# TYPE pilfilld_jobs_submitted_total counter\n")
-	fmt.Fprintf(w, "pilfilld_jobs_submitted_total %d\n", stats.Submitted)
-	fmt.Fprintf(w, "# HELP pilfilld_jobs_rejected_total Submissions rejected by backpressure or drain.\n")
-	fmt.Fprintf(w, "# TYPE pilfilld_jobs_rejected_total counter\n")
-	fmt.Fprintf(w, "pilfilld_jobs_rejected_total %d\n", stats.Rejected)
-
+// write refreshes the queue-derived samples and renders the exposition.
+func (m *metrics) write(w io.Writer, stats jobqueue.Stats) error {
 	m.mu.Lock()
-	states := make([]string, 0, len(m.finished))
-	for s := range m.finished {
-		states = append(states, s)
-	}
-	sort.Strings(states)
-	fmt.Fprintf(w, "# HELP pilfilld_jobs_finished_total Jobs reaching a terminal state.\n")
-	fmt.Fprintf(w, "# TYPE pilfilld_jobs_finished_total counter\n")
-	for _, s := range states {
-		fmt.Fprintf(w, "pilfilld_jobs_finished_total{state=%q} %d\n", s, m.finished[s])
-	}
-	ilpNodes, lpPivots := m.ilpNodes, m.lpPivots
+	m.queue = stats
 	m.mu.Unlock()
-
-	fmt.Fprintf(w, "# HELP pilfilld_ilp_nodes_total Branch-and-bound nodes across finished jobs.\n")
-	fmt.Fprintf(w, "# TYPE pilfilld_ilp_nodes_total counter\n")
-	fmt.Fprintf(w, "pilfilld_ilp_nodes_total %d\n", ilpNodes)
-	fmt.Fprintf(w, "# HELP pilfilld_lp_pivots_total Simplex pivots across finished jobs.\n")
-	fmt.Fprintf(w, "# TYPE pilfilld_lp_pivots_total counter\n")
-	fmt.Fprintf(w, "pilfilld_lp_pivots_total %d\n", lpPivots)
-
-	m.solveCPU.write(w, "pilfilld_solve_cpu_seconds")
-	m.solveWall.write(w, "pilfilld_solve_wall_seconds")
-
-	cs := cap.Shared.Stats()
-	fmt.Fprintf(w, "# HELP pilfilld_captable_cache_hits_total Shared cap-table cache hits (process-wide).\n")
-	fmt.Fprintf(w, "# TYPE pilfilld_captable_cache_hits_total counter\n")
-	fmt.Fprintf(w, "pilfilld_captable_cache_hits_total %d\n", cs.Hits)
-	fmt.Fprintf(w, "# TYPE pilfilld_captable_cache_misses_total counter\n")
-	fmt.Fprintf(w, "pilfilld_captable_cache_misses_total %d\n", cs.Misses)
-	fmt.Fprintf(w, "# TYPE pilfilld_captable_cache_entries gauge\n")
-	fmt.Fprintf(w, "pilfilld_captable_cache_entries %d\n", cs.Entries)
-}
-
-func boolToInt(b bool) int {
-	if b {
-		return 1
-	}
-	return 0
+	return m.reg.Write(w)
 }

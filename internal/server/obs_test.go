@@ -1,0 +1,196 @@
+package server_test
+
+import (
+	"bytes"
+	"encoding/json"
+	"log/slog"
+	"net/http"
+	"strings"
+	"testing"
+
+	"pilfill/internal/jobqueue"
+	"pilfill/internal/obs"
+	"pilfill/internal/server"
+)
+
+// TestMetricsExpositionLint scrapes /metrics after a real job and runs the
+// strict text-format linter over the whole exposition: every family must
+// carry HELP and TYPE, counters must end in _total, histogram buckets must
+// be cumulative with le="+Inf" equal to _count.
+func TestMetricsExpositionLint(t *testing.T) {
+	_, ts := startServer(t, server.Config{Queue: jobqueue.Config{Capacity: 2, Workers: 1}})
+
+	code, data := doJSON(t, http.MethodPost, ts.URL+"/v1/jobs", server.SubmitRequest{
+		Testcase: "T2", Method: "ILP-II", Options: server.SubmitOptions{Window: 32, R: 4, Seed: 1},
+	})
+	if code != http.StatusAccepted {
+		t.Fatalf("submit: %d %s", code, data)
+	}
+	var sub server.JobView
+	if err := json.Unmarshal(data, &sub); err != nil {
+		t.Fatal(err)
+	}
+	pollJob(t, ts.URL, sub.ID, func(v server.JobView) bool { return v.State == "done" })
+
+	resp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); ct != "text/plain; version=0.0.4; charset=utf-8" {
+		t.Errorf("Content-Type = %q", ct)
+	}
+	var buf bytes.Buffer
+	if _, err := buf.ReadFrom(resp.Body); err != nil {
+		t.Fatal(err)
+	}
+	fams, err := obs.LintExposition(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatalf("exposition lint: %v\n%s", err, buf.String())
+	}
+
+	byName := map[string]*obs.ExpFamily{}
+	for _, f := range fams {
+		byName[f.Name] = f
+	}
+	for _, want := range []string{
+		"pilfilld_build_info", "pilfilld_start_time_seconds",
+		"pilfilld_queue_depth", "pilfilld_queue_capacity", "pilfilld_queue_workers",
+		"pilfilld_draining", "pilfilld_jobs", "pilfilld_jobs_submitted_total",
+		"pilfilld_jobs_rejected_total", "pilfilld_jobs_finished_total",
+		"pilfilld_ilp_nodes_total", "pilfilld_lp_pivots_total",
+		"pilfilld_solve_cpu_seconds", "pilfilld_solve_wall_seconds",
+		"pilfilld_method_solve_seconds", "pilfilld_phase_seconds",
+		"pilfilld_captable_cache_hits_total", "pilfilld_captable_cache_misses_total",
+		"pilfilld_captable_cache_entries",
+	} {
+		if byName[want] == nil {
+			t.Errorf("exposition missing family %q", want)
+		}
+	}
+
+	if f := byName["pilfilld_build_info"]; f != nil {
+		if len(f.Samples) != 1 || f.Samples[0].Value != 1 ||
+			f.Samples[0].Labels["version"] == "" || f.Samples[0].Labels["go_version"] == "" {
+			t.Errorf("build_info samples: %+v", f.Samples)
+		}
+	}
+	if f := byName["pilfilld_start_time_seconds"]; f != nil {
+		if len(f.Samples) != 1 || f.Samples[0].Value <= 0 {
+			t.Errorf("start_time samples: %+v", f.Samples)
+		}
+	}
+	// The done ILP-II job must appear in the per-method and per-phase series.
+	if f := byName["pilfilld_method_solve_seconds"]; f != nil {
+		found := false
+		for _, s := range f.Samples {
+			if s.Name == "pilfilld_method_solve_seconds_count" && s.Labels["method"] == "ILP-II" && s.Value == 1 {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("no ILP-II method histogram count: %+v", f.Samples)
+		}
+	}
+	if f := byName["pilfilld_phase_seconds"]; f != nil {
+		phases := map[string]bool{}
+		for _, s := range f.Samples {
+			if s.Name == "pilfilld_phase_seconds_count" {
+				phases[s.Labels["phase"]] = s.Value >= 1
+			}
+		}
+		for _, p := range []string{"preprocess", "solve", "evaluate", "place"} {
+			if !phases[p] {
+				t.Errorf("phase histogram missing %q: %v", p, phases)
+			}
+		}
+	}
+}
+
+// TestRequestIDAndLogging: with a logger configured the server assigns (or
+// echoes) X-Request-ID and writes one structured line per request, and the
+// queue logs job transitions.
+func TestRequestIDAndLogging(t *testing.T) {
+	var logBuf bytes.Buffer
+	logger := obs.NewLogger(&logBuf, slog.LevelInfo, "text")
+	_, ts := startServer(t, server.Config{
+		Queue:  jobqueue.Config{Capacity: 2, Workers: 1},
+		Logger: logger,
+	})
+
+	resp, err := http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if got := resp.Header.Get("X-Request-ID"); got == "" {
+		t.Error("no X-Request-ID assigned")
+	}
+
+	req, _ := http.NewRequest(http.MethodGet, ts.URL+"/healthz", nil)
+	req.Header.Set("X-Request-ID", "caller-7")
+	resp, err = http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if got := resp.Header.Get("X-Request-ID"); got != "caller-7" {
+		t.Errorf("X-Request-ID = %q, want caller-7 echoed", got)
+	}
+
+	code, data := doJSON(t, http.MethodPost, ts.URL+"/v1/jobs", server.SubmitRequest{
+		Testcase: "T2", Method: "Greedy", Options: server.SubmitOptions{Window: 32, R: 4, Seed: 1},
+	})
+	if code != http.StatusAccepted {
+		t.Fatalf("submit: %d %s", code, data)
+	}
+	var sub server.JobView
+	if err := json.Unmarshal(data, &sub); err != nil {
+		t.Fatal(err)
+	}
+	pollJob(t, ts.URL, sub.ID, func(v server.JobView) bool { return v.State == "done" })
+
+	logs := logBuf.String()
+	for _, want := range []string{
+		"msg=request", "id=caller-7", "path=/healthz",
+		"msg=\"job started\"", "msg=\"job finished\"", "state=done",
+	} {
+		if !strings.Contains(logs, want) {
+			t.Errorf("logs missing %q:\n%s", want, logs)
+		}
+	}
+}
+
+// TestPprofMount: the /debug/pprof endpoints exist only behind Config.Pprof.
+func TestPprofMount(t *testing.T) {
+	_, off := startServer(t, server.Config{Queue: jobqueue.Config{Capacity: 1, Workers: 1}})
+	resp, err := http.Get(off.URL + "/debug/pprof/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Errorf("pprof without flag: %d, want 404", resp.StatusCode)
+	}
+
+	_, on := startServer(t, server.Config{
+		Queue: jobqueue.Config{Capacity: 1, Workers: 1},
+		Pprof: true,
+	})
+	resp, err = http.Get(on.URL + "/debug/pprof/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Errorf("pprof index with flag: %d, want 200", resp.StatusCode)
+	}
+	resp, err = http.Get(on.URL + "/debug/pprof/cmdline")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Errorf("pprof cmdline: %d, want 200", resp.StatusCode)
+	}
+}

@@ -20,9 +20,12 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"log/slog"
 	"net/http"
+	"net/http/pprof"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"pilfill"
@@ -44,6 +47,14 @@ type Config struct {
 	// queue runs. Nil uses the real fill-synthesis pipeline; tests substitute
 	// controllable tasks to exercise queue behavior deterministically.
 	TaskFactory func(req *SubmitRequest) (jobqueue.Task, error)
+	// Logger receives structured request and job-lifecycle logs (one Info
+	// line per request with its id, method, path, status and duration; job
+	// state transitions via the queue). Nil disables logging. When
+	// Queue.Logger is nil it inherits this logger.
+	Logger *slog.Logger
+	// Pprof mounts the net/http/pprof handlers under /debug/pprof/ —
+	// protect the port accordingly when enabling it.
+	Pprof bool
 }
 
 // Server is the pilfilld HTTP handler. Create with New; it owns its queue.
@@ -52,6 +63,8 @@ type Server struct {
 	mux     *http.ServeMux
 	metrics *metrics
 	factory func(req *SubmitRequest) (jobqueue.Task, error)
+	logger  *slog.Logger
+	nextReq atomic.Int64 // request-id counter
 
 	mu      sync.Mutex
 	methods map[string]string // job id -> method label, for JobView
@@ -65,6 +78,7 @@ func New(cfg Config) *Server {
 	s := &Server{
 		metrics: newMetrics(),
 		factory: cfg.TaskFactory,
+		logger:  cfg.Logger,
 		methods: make(map[string]string),
 	}
 	if s.factory == nil {
@@ -72,6 +86,9 @@ func New(cfg Config) *Server {
 	}
 	qcfg := cfg.Queue
 	qcfg.OnFinish = s.metrics.jobFinished
+	if qcfg.Logger == nil {
+		qcfg.Logger = cfg.Logger
+	}
 	s.q = jobqueue.New(qcfg)
 
 	mux := http.NewServeMux()
@@ -81,12 +98,48 @@ func New(cfg Config) *Server {
 	mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleCancel)
 	mux.HandleFunc("GET /healthz", s.handleHealth)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	if cfg.Pprof {
+		mux.HandleFunc("GET /debug/pprof/", pprof.Index)
+		mux.HandleFunc("GET /debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("GET /debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("GET /debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("GET /debug/pprof/trace", pprof.Trace)
+	}
 	s.mux = mux
 	return s
 }
 
-// ServeHTTP implements http.Handler.
-func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+// statusWriter captures the response status for the request log.
+type statusWriter struct {
+	http.ResponseWriter
+	status int
+}
+
+func (w *statusWriter) WriteHeader(status int) {
+	w.status = status
+	w.ResponseWriter.WriteHeader(status)
+}
+
+// ServeHTTP implements http.Handler. Every request is assigned an id
+// (honoring an incoming X-Request-ID) that is echoed in the response header
+// and carried through the request log.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	if s.logger == nil {
+		s.mux.ServeHTTP(w, r)
+		return
+	}
+	reqID := r.Header.Get("X-Request-ID")
+	if reqID == "" {
+		reqID = fmt.Sprintf("req-%08d", s.nextReq.Add(1))
+	}
+	w.Header().Set("X-Request-ID", reqID)
+	sw := &statusWriter{ResponseWriter: w, status: http.StatusOK}
+	start := time.Now()
+	s.mux.ServeHTTP(sw, r)
+	s.logger.Info("request",
+		"id", reqID, "method", r.Method, "path", r.URL.Path,
+		"status", sw.status, "dur", time.Since(start))
+}
 
 // Queue exposes the underlying queue (stats, direct submission in tests).
 func (s *Server) Queue() *jobqueue.Queue { return s.q }
@@ -201,7 +254,7 @@ func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
 
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
-	s.metrics.write(w, s.q.Stats())
+	_ = s.metrics.write(w, s.q.Stats()) // write errors mean a gone client
 }
 
 // DefaultTask is the production task factory: it validates the request

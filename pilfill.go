@@ -24,6 +24,7 @@ import (
 	"context"
 	"fmt"
 	"io"
+	"log/slog"
 	"strings"
 	"time"
 
@@ -37,6 +38,7 @@ import (
 	"pilfill/internal/ilp"
 	"pilfill/internal/layout"
 	"pilfill/internal/lef"
+	"pilfill/internal/obs"
 	"pilfill/internal/scanline"
 	"pilfill/internal/svg"
 	"pilfill/internal/testcases"
@@ -110,6 +112,19 @@ type Options struct {
 	// rebuilds its own table); results are identical either way. Mainly for
 	// benchmarking the cache itself.
 	NoTableCache bool
+	// Trace optionally records hierarchical spans (run → prep → tile →
+	// solve, plus ILP progress instants) into an obs.Tracer ring buffer for
+	// Chrome-trace export. Nil disables tracing at zero cost.
+	Trace *obs.Tracer
+	// Logger receives structured solve-path logs (slow-tile warnings at
+	// Warn, ILP progress at Debug). Nil disables logging.
+	Logger *slog.Logger
+	// SlowTileThreshold is the per-tile solve duration above which a
+	// warning is logged through Logger; 0 disables the warning.
+	SlowTileThreshold time.Duration
+	// ProgressNodes is the branch-and-bound node interval between solver
+	// progress events; 0 means the ilp package default.
+	ProgressNodes int
 }
 
 func (o *Options) withDefaults() Options {
@@ -159,15 +174,19 @@ func NewSession(l *layout.Layout, opts Options) (*Session, error) {
 		return nil, fmt.Errorf("pilfill: %w", err)
 	}
 	cfg := core.Config{
-		Layer:        o.Layer,
-		Def:          o.Def,
-		Weighted:     o.Weighted,
-		Seed:         o.Seed,
-		NetCap:       o.NetCap,
-		Activity:     o.Activity,
-		Workers:      o.Workers,
-		Grounded:     o.Grounded,
-		NoTableCache: o.NoTableCache,
+		Layer:         o.Layer,
+		Def:           o.Def,
+		Weighted:      o.Weighted,
+		Seed:          o.Seed,
+		NetCap:        o.NetCap,
+		Activity:      o.Activity,
+		Workers:       o.Workers,
+		Grounded:      o.Grounded,
+		NoTableCache:  o.NoTableCache,
+		Trace:         o.Trace,
+		Logger:        o.Logger,
+		SlowTile:      o.SlowTileThreshold,
+		ProgressNodes: o.ProgressNodes,
 	}
 	if o.ILPNodeLimit > 0 {
 		cfg.ILPOpts = ilp.Options{MaxNodes: o.ILPNodeLimit}
