@@ -4,9 +4,9 @@ GO ?= go
 VERSION ?= $(shell git describe --tags --always --dirty 2>/dev/null || echo dev)
 LDFLAGS := -ldflags "-X pilfill/internal/obs.Version=$(VERSION)"
 
-.PHONY: ci fmt vet build test race bench bench-solver bench-solver-short trace-smoke serve
+.PHONY: ci fmt vet build test race bench bench-solver bench-solver-short bench-engine bench-engine-short trace-smoke serve
 
-ci: fmt vet build test race trace-smoke bench-solver-short
+ci: fmt vet build test race trace-smoke bench-solver-short bench-engine-short
 
 fmt:
 	@out=$$(gofmt -l .); if [ -n "$$out" ]; then \
@@ -37,6 +37,17 @@ bench-solver:
 
 bench-solver-short:
 	$(GO) run ./cmd/benchsolver -short -check -o BENCH_solver.json
+
+# End-to-end engine benchmark (pooled steady-state vs allocating path): per
+# method tiles/sec, ns/tile and allocs/op plus the ILP-II worker-scaling
+# curve, written to BENCH_engine.json. Fails below the 5x allocation-
+# reduction floor or on any pooled-vs-unpooled result divergence.
+# bench-engine-short is the single-case CI variant (no scaling sweep).
+bench-engine:
+	$(GO) run ./cmd/benchengine -check -o BENCH_engine.json
+
+bench-engine-short:
+	$(GO) run ./cmd/benchengine -short -check -o BENCH_engine.json
 
 # Tracing smoke test: run a small case with -trace and validate the Chrome
 # trace-event JSON (parses, has the run/prep/tile/solve span hierarchy).

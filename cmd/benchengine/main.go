@@ -1,0 +1,346 @@
+// Command benchengine benchmarks the end-to-end fill engine and writes the
+// results as JSON:
+//
+//	benchengine -o BENCH_engine.json          # full case set
+//	benchengine -short                        # single case (CI)
+//	benchengine -check                        # enforce regression floors
+//
+// For every benchmark case and every placement method it runs the engine
+// twice over the identical instances: on the pooled steady-state path
+// (worker-local SolveScratch, reused branch-and-bound searcher, assignment
+// slab) and with pooling disabled (Config.NoSolvePool — the pre-pooling
+// per-tile allocation behavior). Both paths must produce bit-identical
+// results — any divergence fails the run — and the pooled path's warm
+// throughput (tiles/sec, ns/tile) and allocation profile (allocs/op,
+// B/op per tile) are compared against the unpooled path.
+//
+// A second experiment sweeps the worker count for the ILP-II method and
+// records the wall-clock scaling curve against the makespan lower bound
+// max(solve CPU / workers, longest single solve): how close the cost-ordered
+// (LPT) work queue gets to perfect scheduling.
+//
+// With -check the run exits 1 unless the ILP-I and ILP-II pooled paths
+// allocate at least 5x less than unpooled (the PR's acceptance floor) and
+// every identity check passed.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"math"
+	"os"
+	"runtime"
+	"time"
+
+	"pilfill/internal/core"
+	"pilfill/internal/harness"
+	"pilfill/internal/ilp"
+	"pilfill/internal/obs"
+)
+
+func fail(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "benchengine: "+format+"\n", args...)
+	os.Exit(1)
+}
+
+// benchCase names one harness grid point.
+type benchCase struct {
+	Testcase string
+	W, R     int
+}
+
+func (c benchCase) name() string { return fmt.Sprintf("%s/%d/%d", c.Testcase, c.W, c.R) }
+
+var methods = []core.Method{
+	core.Normal, core.Greedy, core.MarginalGreedy, core.DP, core.ILPI, core.ILPII,
+}
+
+// PathStats is one measured engine path (pooled or unpooled) over a case:
+// per-tile time and allocation figures averaged over the measurement runs.
+type PathStats struct {
+	NSPerTile    float64 `json:"ns_per_tile"`
+	TilesPerSec  float64 `json:"tiles_per_sec"`
+	AllocsPerOp  float64 `json:"allocs_per_op"` // heap allocations per tile solve
+	BytesPerOp   float64 `json:"bytes_per_op"`  // heap bytes per tile solve
+	SolveCPUNS   int64   `json:"solve_cpu_ns"`
+	WallNS       int64   `json:"wall_ns"`
+	TotalAllocs  uint64  `json:"total_allocs"`
+	TotalBytes   uint64  `json:"total_bytes"`
+	MeasuredRuns int     `json:"measured_runs"`
+}
+
+// MethodResult compares the pooled and unpooled paths for one method.
+type MethodResult struct {
+	Method         string    `json:"method"`
+	Pooled         PathStats `json:"pooled"`
+	Unpooled       PathStats `json:"unpooled"`
+	AllocReduction float64   `json:"alloc_reduction"` // unpooled allocs/op over pooled
+	Identical      bool      `json:"identical"`       // pooled == unpooled bit-for-bit
+}
+
+// ScalePoint is one worker count on the ILP-II scaling curve.
+type ScalePoint struct {
+	Workers    int   `json:"workers"`
+	WallNS     int64 `json:"wall_ns"`
+	SolveCPUNS int64 `json:"solve_cpu_ns"`
+	LongestNS  int64 `json:"longest_solve_ns"`
+	// LowerBoundNS is the best achievable makespan for this worker count:
+	// max(total solve CPU / workers, longest single solve).
+	LowerBoundNS int64 `json:"lower_bound_ns"`
+	// Efficiency is lower bound over measured wall (1.0 = perfect schedule;
+	// includes reduction/placement overhead, so < 1 in practice).
+	Efficiency float64 `json:"efficiency"`
+}
+
+// CaseResult is the JSON record of one benchmark case.
+type CaseResult struct {
+	Case    string         `json:"case"`
+	Tiles   int            `json:"tiles"`
+	Methods []MethodResult `json:"methods"`
+	Scaling []ScalePoint   `json:"scaling_ilp2,omitempty"`
+}
+
+// Output is the BENCH_engine.json document.
+type Output struct {
+	Generated string       `json:"generated"`
+	Short     bool         `json:"short"`
+	GoMaxProc int          `json:"gomaxprocs"`
+	Cases     []CaseResult `json:"cases"`
+	// Worst-case (minimum) alloc reduction over all cases for the floors.
+	ILPIAllocReduction  float64 `json:"ilp1_alloc_reduction"`
+	ILPIIAllocReduction float64 `json:"ilp2_alloc_reduction"`
+}
+
+// identical compares everything deterministic that two runs report.
+func identical(a, b *core.Result) bool {
+	if a.Unweighted != b.Unweighted || a.Weighted != b.Weighted ||
+		a.Placed != b.Placed || a.Requested != b.Requested || a.Tiles != b.Tiles ||
+		a.ILPNodes != b.ILPNodes || a.LPPivots != b.LPPivots {
+		return false
+	}
+	for n := range a.PerNet {
+		if a.PerNet[n] != b.PerNet[n] {
+			return false
+		}
+	}
+	if len(a.Fill.Fills) != len(b.Fill.Fills) {
+		return false
+	}
+	for i := range a.Fill.Fills {
+		if a.Fill.Fills[i] != b.Fill.Fills[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// measurePath runs the engine `runs` times over the instances and averages
+// time and allocation per tile. The engine is run once beforehand to warm
+// caches (and, on the pooled path, the scratch buffers) so the figures are
+// steady-state. Measurement is serial (Workers = 1) so the allocation deltas
+// are not polluted by scheduler noise and ns/tile is comparable across
+// machines with different core counts.
+func measurePath(eng *core.Engine, m core.Method, instances []*core.Instance, runs int) (PathStats, *core.Result, error) {
+	eng.Cfg.Workers = 1
+	res, err := eng.Run(m, instances) // warm-up; also the identity-check result
+	if err != nil {
+		return PathStats{}, nil, err
+	}
+	var before, after runtime.MemStats
+	runtime.GC()
+	runtime.ReadMemStats(&before)
+	start := time.Now()
+	var cpu time.Duration
+	for i := 0; i < runs; i++ {
+		r, err := eng.Run(m, instances)
+		if err != nil {
+			return PathStats{}, nil, err
+		}
+		cpu += r.CPU
+	}
+	wall := time.Since(start)
+	runtime.ReadMemStats(&after)
+
+	ops := float64(runs) * float64(len(instances))
+	st := PathStats{
+		TotalAllocs:  after.Mallocs - before.Mallocs,
+		TotalBytes:   after.TotalAlloc - before.TotalAlloc,
+		WallNS:       wall.Nanoseconds(),
+		SolveCPUNS:   cpu.Nanoseconds(),
+		MeasuredRuns: runs,
+	}
+	st.AllocsPerOp = float64(st.TotalAllocs) / ops
+	st.BytesPerOp = float64(st.TotalBytes) / ops
+	st.NSPerTile = float64(wall.Nanoseconds()) / ops
+	st.TilesPerSec = ops / wall.Seconds()
+	return st, res, nil
+}
+
+// scalingCurve sweeps worker counts 1, 2, 4, ... GOMAXPROCS for ILP-II on
+// the pooled path and reports wall clock against the makespan lower bound.
+func scalingCurve(eng *core.Engine, instances []*core.Instance) ([]ScalePoint, error) {
+	var points []ScalePoint
+	maxW := runtime.GOMAXPROCS(0)
+	for w := 1; ; w *= 2 {
+		if w > maxW {
+			break
+		}
+		eng.Cfg.Workers = w
+		if _, err := eng.Run(core.ILPII, instances); err != nil { // warm
+			return nil, err
+		}
+		best := ScalePoint{Workers: w, WallNS: math.MaxInt64}
+		for i := 0; i < 3; i++ {
+			res, err := eng.Run(core.ILPII, instances)
+			if err != nil {
+				return nil, err
+			}
+			if res.Wall.Nanoseconds() < best.WallNS {
+				best.WallNS = res.Wall.Nanoseconds()
+				best.SolveCPUNS = res.CPU.Nanoseconds()
+				best.LongestNS = res.LongestSolve.Nanoseconds()
+			}
+		}
+		lb := best.SolveCPUNS / int64(best.Workers)
+		if best.LongestNS > lb {
+			lb = best.LongestNS
+		}
+		best.LowerBoundNS = lb
+		if best.WallNS > 0 {
+			best.Efficiency = float64(lb) / float64(best.WallNS)
+		}
+		points = append(points, best)
+		if w == maxW {
+			break
+		}
+		if w*2 > maxW {
+			w = maxW / 2 // land exactly on GOMAXPROCS next iteration
+		}
+	}
+	eng.Cfg.Workers = 0
+	return points, nil
+}
+
+func runCase(c benchCase, runs int, short bool) (CaseResult, error) {
+	eng, instances, err := harness.BuildInstances(c.Testcase, c.W, c.R, core.Config{
+		Seed:    1,
+		ILPOpts: ilp.Options{MaxNodes: 20000},
+	})
+	if err != nil {
+		return CaseResult{}, err
+	}
+	res := CaseResult{Case: c.name(), Tiles: len(instances)}
+	for _, m := range methods {
+		eng.Cfg.NoSolvePool = false
+		pooled, pRes, err := measurePath(eng, m, instances, runs)
+		if err != nil {
+			return res, fmt.Errorf("%s %v pooled: %w", c.name(), m, err)
+		}
+		eng.Cfg.NoSolvePool = true
+		unpooled, uRes, err := measurePath(eng, m, instances, runs)
+		if err != nil {
+			return res, fmt.Errorf("%s %v unpooled: %w", c.name(), m, err)
+		}
+		eng.Cfg.NoSolvePool = false
+		mr := MethodResult{
+			Method:    m.String(),
+			Pooled:    pooled,
+			Unpooled:  unpooled,
+			Identical: identical(pRes, uRes),
+		}
+		mr.AllocReduction = unpooled.AllocsPerOp / math.Max(pooled.AllocsPerOp, 1e-9)
+		if !mr.Identical {
+			return res, fmt.Errorf("%s %v: pooled and unpooled results diverge", c.name(), m)
+		}
+		res.Methods = append(res.Methods, mr)
+		fmt.Fprintf(os.Stderr, "%-10s %-15s %8.0f ns/tile %8.1f allocs/op (unpooled %8.1f, %6.1fx) %9.0f B/op\n",
+			res.Case, mr.Method, pooled.NSPerTile, pooled.AllocsPerOp,
+			unpooled.AllocsPerOp, mr.AllocReduction, pooled.BytesPerOp)
+	}
+	if !short {
+		if res.Scaling, err = scalingCurve(eng, instances); err != nil {
+			return res, fmt.Errorf("%s scaling: %w", c.name(), err)
+		}
+		for _, p := range res.Scaling {
+			fmt.Fprintf(os.Stderr, "%-10s ILP-II workers=%-2d wall %8.2fms  lower bound %8.2fms  efficiency %.2f\n",
+				res.Case, p.Workers, float64(p.WallNS)/1e6, float64(p.LowerBoundNS)/1e6, p.Efficiency)
+		}
+	}
+	return res, nil
+}
+
+func main() {
+	var (
+		out        = flag.String("o", "BENCH_engine.json", "output file, - for stdout")
+		short      = flag.Bool("short", false, "single case, no scaling sweep (CI)")
+		check      = flag.Bool("check", false, "exit 1 unless ILP alloc reductions reach 5x")
+		runs       = flag.Int("runs", 5, "measurement runs per path")
+		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile to this path")
+		memprofile = flag.String("memprofile", "", "write a heap profile to this path on exit")
+	)
+	flag.Parse()
+
+	if *cpuprofile != "" {
+		stop, err := obs.StartCPUProfile(*cpuprofile)
+		if err != nil {
+			fail("%v", err)
+		}
+		defer func() {
+			if err := stop(); err != nil {
+				fmt.Fprintf(os.Stderr, "benchengine: cpu profile: %v\n", err)
+			}
+		}()
+	}
+	if *memprofile != "" {
+		defer func() {
+			if err := obs.WriteHeapProfile(*memprofile); err != nil {
+				fmt.Fprintf(os.Stderr, "benchengine: heap profile: %v\n", err)
+			}
+		}()
+	}
+
+	cases := []benchCase{{"T1", 20, 8}, {"T1", 32, 4}, {"T2", 20, 8}}
+	if *short {
+		cases = cases[:1]
+	}
+
+	doc := Output{
+		Generated:           time.Now().UTC().Format(time.RFC3339),
+		Short:               *short,
+		GoMaxProc:           runtime.GOMAXPROCS(0),
+		ILPIAllocReduction:  math.Inf(1),
+		ILPIIAllocReduction: math.Inf(1),
+	}
+	for _, c := range cases {
+		res, err := runCase(c, *runs, *short)
+		if err != nil {
+			fail("%v", err)
+		}
+		doc.Cases = append(doc.Cases, res)
+		for _, mr := range res.Methods {
+			switch mr.Method {
+			case core.ILPI.String():
+				doc.ILPIAllocReduction = math.Min(doc.ILPIAllocReduction, mr.AllocReduction)
+			case core.ILPII.String():
+				doc.ILPIIAllocReduction = math.Min(doc.ILPIIAllocReduction, mr.AllocReduction)
+			}
+		}
+	}
+
+	enc, err := json.MarshalIndent(&doc, "", "  ")
+	if err != nil {
+		fail("%v", err)
+	}
+	enc = append(enc, '\n')
+	if *out == "-" {
+		os.Stdout.Write(enc)
+	} else if err := os.WriteFile(*out, enc, 0o644); err != nil {
+		fail("%v", err)
+	}
+
+	if *check && (doc.ILPIAllocReduction < 5 || doc.ILPIIAllocReduction < 5) {
+		fail("alloc reduction below 5x: ILP-I %.1fx, ILP-II %.1fx",
+			doc.ILPIAllocReduction, doc.ILPIIAllocReduction)
+	}
+}

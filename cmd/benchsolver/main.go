@@ -24,12 +24,9 @@ import (
 	"time"
 
 	"pilfill/internal/core"
-	"pilfill/internal/density"
 	"pilfill/internal/harness"
 	"pilfill/internal/ilp"
-	"pilfill/internal/layout"
 	"pilfill/internal/obs"
-	"pilfill/internal/testcases"
 )
 
 func fail(format string, args ...any) {
@@ -81,37 +78,8 @@ type Output struct {
 // buildInstances constructs the tile instances of one harness grid point the
 // same way harness.RunRow does before solving.
 func buildInstances(c benchCase) ([]*core.Instance, error) {
-	var spec testcases.Spec
-	switch c.Testcase {
-	case "T1":
-		spec = testcases.T1()
-	case "T2":
-		spec = testcases.T2()
-	default:
-		return nil, fmt.Errorf("unknown testcase %q", c.Testcase)
-	}
-	l, err := testcases.Generate(spec)
-	if err != nil {
-		return nil, err
-	}
-	dis, err := layout.NewDissection(l.Die, testcases.WindowNM(c.W), c.R)
-	if err != nil {
-		return nil, err
-	}
-	eng, err := core.NewEngine(l, dis, spec.Rule, core.Config{Seed: 1})
-	if err != nil {
-		return nil, err
-	}
-	grid := density.NewGrid(l, dis, eng.Occ, 0)
-	budget, _, err := density.MonteCarlo(grid, density.MonteCarloOptions{
-		TargetMin:  harness.TargetMinDensity,
-		MaxDensity: harness.MaxDensity,
-		Seed:       1,
-	})
-	if err != nil {
-		return nil, err
-	}
-	return eng.Instances(budget), nil
+	_, instances, err := harness.BuildInstances(c.Testcase, c.W, c.R, core.Config{Seed: 1})
+	return instances, err
 }
 
 // tileSolve solves one tile program along one path and returns its solution.

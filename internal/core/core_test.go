@@ -239,7 +239,11 @@ func TestGreedyPrefersCheapColumns(t *testing.T) {
 	if a[1] != 5 || a[0] != 0 {
 		t.Fatalf("greedy chose %v, want all fill in the free column", a)
 	}
-	if u, _ := in.Evaluate(a); u != 0 {
+	u, _, err := in.Evaluate(a)
+	if err != nil {
+		t.Fatalf("Evaluate: %v", err)
+	}
+	if u != 0 {
 		t.Errorf("free placement should cost 0, got %g", u)
 	}
 }

@@ -5,8 +5,10 @@ import (
 	"fmt"
 	"log/slog"
 	"math/rand"
+	"slices"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"pilfill/internal/cap"
@@ -79,6 +81,12 @@ type Config struct {
 	// baseline derives its randomness per tile from (Seed, I, J), and the
 	// reduction happens in instance order.
 	Workers int
+	// NoSolvePool disables the per-worker SolveScratch pooling and the
+	// assignment slab, restoring the pre-pooling per-tile allocation
+	// behavior. Results are bit-identical either way; the switch exists so
+	// benchmarks (cmd/benchengine) and the pooling-equivalence tests can
+	// compare the two paths.
+	NoSolvePool bool
 	// Grounded models tied-to-ground fill instead of the paper's floating
 	// fill: heavier capacitive loading (cap.DeltaGrounded) in exchange for
 	// crosstalk shielding. Note the grounded cost curve has a step at the
@@ -140,6 +148,12 @@ type Engine struct {
 
 	cache    *cap.TableCache // nil when Config.NoTableCache
 	prepSpan obs.SpanID      // the "prep" span, parent of later build spans
+
+	// scratchFree pools worker SolveScratches across runs (see
+	// getScratches); guarded by scratchMu so concurrent RunContexts on one
+	// engine each borrow disjoint scratches.
+	scratchMu   sync.Mutex
+	scratchFree []*SolveScratch
 }
 
 // workerCount resolves the effective fan-out width for n independent items.
@@ -157,34 +171,88 @@ func workerCount(workers, n int) int {
 // one worker it degenerates to a plain loop; fn must touch only index-owned
 // state so results are identical either way.
 func fanOut(workers, n int, fn func(i int)) {
-	fanOutWorker(workers, n, func(_, i int) { fn(i) })
+	fanOutOrder(workers, n, nil, func(_, i int) { fn(i) })
 }
 
 // fanOutWorker is fanOut exposing the worker index to fn — the tracer's
 // display lane, so concurrent tiles render on separate rows in a trace.
 func fanOutWorker(workers, n int, fn func(worker, i int)) {
+	fanOutOrder(workers, n, nil, fn)
+}
+
+// fanOutOrder runs fn over n items across workers, claiming items off a
+// single atomic counter (no feeder goroutine, no channel handoff per item).
+// A non-nil order remaps the claim sequence — claim c runs fn(w, order[c])
+// — so callers can front-load expensive items (longest-processing-time
+// scheduling); nil means identity. Item-to-worker binding is nondeterministic
+// under contention, which is why fn must touch only index-owned state.
+func fanOutOrder(workers, n int, order []int, fn func(worker, i int)) {
 	if workers = workerCount(workers, n); workers == 1 {
 		for i := 0; i < n; i++ {
-			fn(0, i)
+			if order != nil {
+				fn(0, order[i])
+			} else {
+				fn(0, i)
+			}
 		}
 		return
 	}
-	idx := make(chan int)
+	var next atomic.Int64
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
 		go func(w int) {
 			defer wg.Done()
-			for i := range idx {
-				fn(w, i)
+			for {
+				c := int(next.Add(1)) - 1
+				if c >= n {
+					return
+				}
+				if order != nil {
+					fn(w, order[c])
+				} else {
+					fn(w, c)
+				}
 			}
 		}(w)
 	}
-	for i := 0; i < n; i++ {
-		idx <- i
-	}
-	close(idx)
 	wg.Wait()
+}
+
+// predictCost scores a tile's expected solve cost for scheduling: the
+// ILP-II variable count (Σ per-column curve lengths) dominates branch-and-
+// bound work, scaled by the fill budget; the column count stands in for the
+// heuristic methods' sort/heap work. Only the relative order matters — the
+// score picks which tiles start first, never what any solver computes.
+func predictCost(in *Instance) float64 {
+	curve := 0
+	for k := range in.Columns {
+		curve += len(in.Columns[k].DeltaC)
+	}
+	return (float64(curve) + float64(len(in.Columns))) * float64(in.F+1)
+}
+
+// costOrder returns tile indices in descending predicted-cost order (index
+// ascending on ties): longest-processing-time-first scheduling, which keeps
+// a straggler tile from landing on a nearly-drained queue and stretching the
+// run's makespan past the CPU-time lower bound.
+func costOrder(instances []*Instance) []int {
+	order := make([]int, len(instances))
+	cost := make([]float64, len(instances))
+	for i, in := range instances {
+		order[i] = i
+		cost[i] = predictCost(in)
+	}
+	slices.SortFunc(order, func(a, b int) int {
+		if cost[a] != cost[b] {
+			if cost[a] > cost[b] {
+				return -1
+			}
+			return 1
+		}
+		return a - b
+	})
+	return order
 }
 
 // NewEngine prepares a layout for fill synthesis: site grid, occupancy, RC
@@ -324,12 +392,16 @@ type Result struct {
 	// serial and Workers>1 runs report comparable numbers. Wall is the
 	// end-to-end duration of the Run call (under Workers>1 it is smaller
 	// than CPU when tiles overlap).
-	CPU      time.Duration
-	Wall     time.Duration
-	Phases   PhaseTimes // preprocess/solve/evaluate/place breakdown
-	Tiles    int        // instances solved
-	ILPNodes int        // total branch-and-bound nodes (ILP methods)
-	LPPivots int        // total simplex pivots across all node LPs (ILP methods)
+	CPU  time.Duration
+	Wall time.Duration
+	// LongestSolve is the single slowest tile's solve duration — with CPU
+	// and the worker count it bounds the best achievable makespan:
+	// Wall >= max(CPU/workers, LongestSolve) + reduction overhead.
+	LongestSolve time.Duration
+	Phases       PhaseTimes // preprocess/solve/evaluate/place breakdown
+	Tiles        int        // instances solved
+	ILPNodes     int        // total branch-and-bound nodes (ILP methods)
+	LPPivots     int        // total simplex pivots across all node LPs (ILP methods)
 }
 
 // ilpOpts copies the configured branch-and-bound limits and, when the
@@ -343,20 +415,19 @@ func (e *Engine) ilpOpts(ctx context.Context) *ilp.Options {
 	return &opts
 }
 
-// solveOpts is ilpOpts plus the observability hook: when tracing is on or
+// addProgress wires the observability hook into opts: when tracing is on or
 // the logger accepts Debug, the branch-and-bound search reports progress
 // every Config.ProgressNodes nodes as trace instants under the tile's span
-// and as Debug logs. Otherwise the options are returned untouched, so the
-// common case pays nothing.
-func (e *Engine) solveOpts(ctx context.Context, in *Instance, lane int, parent obs.SpanID) *ilp.Options {
-	opts := e.ilpOpts(ctx)
+// and as Debug logs. Otherwise opts is untouched, so the common case pays
+// nothing (the hook closure allocates; it only exists on observed runs).
+func (e *Engine) addProgress(ctx context.Context, opts *ilp.Options, in *Instance, lane int, parent obs.SpanID) {
 	tr := e.Cfg.Trace
 	lg := e.Cfg.Logger
 	if lg != nil && !lg.Enabled(ctx, slog.LevelDebug) {
 		lg = nil
 	}
 	if !tr.Enabled() && lg == nil {
-		return opts
+		return
 	}
 	i, j := in.I, in.J
 	opts.ProgressEvery = e.Cfg.ProgressNodes
@@ -373,6 +444,13 @@ func (e *Engine) solveOpts(ctx context.Context, in *Instance, lane int, parent o
 				"bound", pr.Bound, "done", pr.Done)
 		}
 	}
+}
+
+// solveOpts is ilpOpts plus addProgress — the per-tile options of the
+// unpooled solve path.
+func (e *Engine) solveOpts(ctx context.Context, in *Instance, lane int, parent obs.SpanID) *ilp.Options {
+	opts := e.ilpOpts(ctx)
+	e.addProgress(ctx, opts, in, lane, parent)
 	return opts
 }
 
@@ -427,6 +505,58 @@ func (e *Engine) solveInstance(ctx context.Context, method Method, in *Instance,
 	}
 }
 
+// solveInstancePooled is solveInstance on the steady-state path: the
+// assignment lands in the caller's zeroed slab slice and every intermediate
+// (problem, incumbent, searcher nodes, sampler state) comes from the
+// worker's SolveScratch. base carries the run-wide ILP options (including
+// the hoisted Cancel closure) and nc the run-wide net cap; both are read-
+// only here. Results are bit-identical to solveInstance.
+func (e *Engine) solveInstancePooled(ctx context.Context, method Method, in *Instance, sc *SolveScratch,
+	base *ilp.Options, nc *NetCap, a Assignment, lane int, span obs.SpanID) (int, int, error) {
+	if err := ctx.Err(); err != nil {
+		return 0, 0, err
+	}
+	switch method {
+	case Normal:
+		seed := e.Cfg.Seed ^ (int64(in.I)*1_000_003+int64(in.J))*2_654_435_761
+		// Re-seeding reinitializes the rng's source exactly as
+		// rand.NewSource(seed) would, so the pooled sampler reproduces the
+		// unpooled per-tile rand.New sequence bit for bit.
+		sc.rng.Seed(seed)
+		sc.slots = solveNormalInto(a, in, sc.rng, sc.slots)
+		return 0, 0, nil
+	case Greedy:
+		sc.keys = solveGreedyInto(a, in, sc.keys)
+		return 0, 0, nil
+	case MarginalGreedy:
+		solveMarginalGreedyInto(a, in, &sc.mheap)
+		return 0, 0, nil
+	case GreedyCapped:
+		e.solveGreedyCappedInto(a, in, sc)
+		return 0, 0, nil
+	case DP:
+		return 0, 0, solveDPInto(ctx, a, in, sc)
+	case ILPI:
+		sc.opts = *base
+		e.addProgress(ctx, &sc.opts, in, lane, span)
+		nodes, pivots, err := sc.solveILPI(in, &sc.opts, a)
+		if ctxErr := ctx.Err(); ctxErr != nil {
+			return 0, 0, ctxErr
+		}
+		return nodes, pivots, err
+	case ILPII:
+		sc.opts = *base
+		e.addProgress(ctx, &sc.opts, in, lane, span)
+		nodes, pivots, err := sc.solveILPII(in, &sc.opts, nc, a)
+		if ctxErr := ctx.Err(); ctxErr != nil {
+			return 0, 0, ctxErr
+		}
+		return nodes, pivots, err
+	default:
+		return 0, 0, fmt.Errorf("core: unknown method %v", method)
+	}
+}
+
 // Run solves every instance with the chosen method and assembles the fill.
 // The instances must come from this engine's Instances call. With
 // Config.Workers > 1 the tiles are solved concurrently; the result is
@@ -461,6 +591,37 @@ func (e *Engine) RunContext(ctx context.Context, method Method, instances []*Ins
 		err    error
 	}
 	outs := make([]outcome, len(instances))
+
+	pooled := !e.Cfg.NoSolvePool
+	workers := workerCount(e.Cfg.Workers, len(instances))
+	var scs []*SolveScratch
+	var baseOpts ilp.Options
+	var nc *NetCap
+	if pooled {
+		// One zeroed slab carved into per-tile assignment slices: a single
+		// allocation per run instead of one per tile.
+		totalCols := 0
+		for _, in := range instances {
+			totalCols += len(in.Columns)
+		}
+		slab := make([]int, totalCols)
+		off := 0
+		for i, in := range instances {
+			k := len(in.Columns)
+			outs[i].a = slab[off : off+k : off+k]
+			off += k
+		}
+		scs = e.getScratches(workers)
+		defer e.putScratches(scs)
+		baseOpts = e.Cfg.ILPOpts
+		if ctx.Done() != nil {
+			// One cancellation closure for the whole run, not one per tile.
+			baseOpts.Cancel = func() bool { return ctx.Err() != nil }
+		}
+		if e.Cfg.NetCap > 0 {
+			nc = &NetCap{MaxAddedDelay: e.Cfg.NetCap}
+		}
+	}
 	solveOne := func(worker, i int) {
 		in := instances[i]
 		lane := 1 + worker
@@ -469,28 +630,42 @@ func (e *Engine) RunContext(ctx context.Context, method Method, instances []*Ins
 		tile.Arg("j", int64(in.J))
 		solveStart := time.Now()
 		solve := tr.Start("solve", "solve", lane, tile.ID())
-		a, nodes, pivots, err := e.solveInstance(ctx, method, in, lane, solve.ID())
+		var nodes, pivots int
+		var err error
+		if pooled {
+			nodes, pivots, err = e.solveInstancePooled(ctx, method, in, scs[worker],
+				&baseOpts, nc, outs[i].a, lane, solve.ID())
+		} else {
+			outs[i].a, nodes, pivots, err = e.solveInstance(ctx, method, in, lane, solve.ID())
+		}
 		solve.Arg("nodes", int64(nodes))
 		solve.Arg("pivots", int64(pivots))
 		solve.End()
 		dur := time.Since(solveStart)
 		tile.End()
-		outs[i] = outcome{a, nodes, pivots, dur, err}
+		outs[i].nodes, outs[i].pivots, outs[i].dur, outs[i].err = nodes, pivots, dur, err
 		if lg := e.Cfg.Logger; lg != nil && err == nil &&
 			e.Cfg.SlowTile > 0 && dur >= e.Cfg.SlowTile {
 			lg.Warn("slow tile", "i", in.I, "j", in.J, "method", method.String(),
 				"dur", dur, "nodes", nodes, "pivots", pivots)
 		}
 	}
-	if workers := e.Cfg.Workers; workers > 1 && len(instances) > 1 {
-		fanOutWorker(workers, len(instances), solveOne)
+	if workers > 1 {
+		// Hardest tiles first (LPT): the predicted-cost order only decides
+		// who starts when — each tile's solve and the reduction below are
+		// order-independent, so results stay bit-identical to serial.
+		fanOutOrder(workers, len(instances), costOrder(instances), solveOne)
 	} else {
 		for i := range instances {
 			solveOne(0, i)
 		}
 	}
 
-	// Deterministic reduction in instance order.
+	// Deterministic reduction in instance order: regardless of how the
+	// fan-out interleaved or reordered the solves above, every accumulation
+	// below walks instances[0..n) in sequence, so serial, parallel, and
+	// pooled runs produce bit-identical Results.
+	var placeRows []int
 	for i, in := range instances {
 		o := outs[i]
 		if o.err != nil {
@@ -502,6 +677,9 @@ func (e *Engine) RunContext(ctx context.Context, method Method, instances []*Ins
 		res.ILPNodes += o.nodes
 		res.LPPivots += o.pivots
 		res.Phases.Solve += o.dur
+		if o.dur > res.LongestSolve {
+			res.LongestSolve = o.dur
+		}
 		placed := 0
 		for _, m := range o.a {
 			placed += m
@@ -513,19 +691,21 @@ func (e *Engine) RunContext(ctx context.Context, method Method, instances []*Ins
 			}
 		}
 		evalStart := time.Now()
-		u, w := in.Evaluate(o.a)
-		res.Unweighted += u
-		res.Weighted += w
-		res.Requested += in.F
-		res.Placed += placed
-		res.Tiles++
-		err := e.accumulatePerNet(res.PerNet, in, o.a)
+		u, w, err := in.Evaluate(o.a)
+		if err == nil {
+			res.Unweighted += u
+			res.Weighted += w
+			res.Requested += in.F
+			res.Placed += placed
+			res.Tiles++
+			err = e.accumulatePerNet(res.PerNet, in, o.a)
+		}
 		res.Phases.Evaluate += time.Since(evalStart)
 		if err != nil {
 			return nil, fmt.Errorf("core: %v on tile (%d,%d): %w", method, in.I, in.J, err)
 		}
 		placeStart := time.Now()
-		err = e.place(res.Fill, in, o.a)
+		err = e.place(res.Fill, in, o.a, &placeRows)
 		res.Phases.Place += time.Since(placeStart)
 		if err != nil {
 			return nil, fmt.Errorf("core: %v on tile (%d,%d): %w", method, in.I, in.J, err)
@@ -591,8 +771,10 @@ func (e *Engine) freeRowsCenterOut(cv *ColumnVar) []int {
 // by buildInstance carry their center-out free-row order in
 // ColumnVar.FreeRows; hand-built test instances without it fall back to a
 // fresh occupancy scan. An assignment exceeding a column's free sites
-// indicates a capacity-extraction bug and is reported as an error.
-func (e *Engine) place(fs *layout.FillSet, in *Instance, a Assignment) error {
+// indicates a capacity-extraction bug and is reported as an error. rowBuf,
+// when non-nil, is a caller-owned scratch slice reused across columns (and
+// calls) for the row sort; nil allocates per column.
+func (e *Engine) place(fs *layout.FillSet, in *Instance, a Assignment, rowBuf *[]int) error {
 	for k, m := range a {
 		if m <= 0 {
 			continue
@@ -605,8 +787,14 @@ func (e *Engine) place(fs *layout.FillSet, in *Instance, a Assignment) error {
 		if m > len(free) {
 			return fmt.Errorf("core: column %d assignment %d exceeds %d free sites", k, m, len(free))
 		}
-		rows := append([]int(nil), free[:m]...)
-		sort.Ints(rows)
+		var rows []int
+		if rowBuf != nil {
+			rows = append((*rowBuf)[:0], free[:m]...)
+			*rowBuf = rows
+		} else {
+			rows = append([]int(nil), free[:m]...)
+		}
+		slices.Sort(rows)
 		for _, r := range rows {
 			fs.Fills = append(fs.Fills, layout.Fill{Col: cv.Col.Col, Row: r})
 		}
@@ -619,27 +807,22 @@ func (e *Engine) place(fs *layout.FillSet, in *Instance, a Assignment) error {
 // but the take is reduced so no bounding net exceeds the cap; the method may
 // therefore place fewer than F features.
 func (e *Engine) solveGreedyCapped(in *Instance) Assignment {
+	a := make(Assignment, len(in.Columns))
+	e.solveGreedyCappedInto(a, in, nil)
+	return a
+}
+
+// solveGreedyCappedInto is solveGreedyCapped writing into a zeroed
+// Assignment, sourcing the sort keys and per-net spend map from sc.
+func (e *Engine) solveGreedyCappedInto(a Assignment, in *Instance, sc *SolveScratch) {
 	capS := e.Cfg.NetCap
 	if capS <= 0 {
-		return SolveGreedy(in)
+		sc.keysOut(solveGreedyInto(a, in, sc.keysIn()))
+		return
 	}
-	type keyed struct {
-		k   int
-		key float64
-	}
-	keys := make([]keyed, len(in.Columns))
-	for k := range in.Columns {
-		cv := &in.Columns[k]
-		keys[k] = keyed{k: k, key: cv.costAt(cv.MaxM)}
-	}
-	sort.Slice(keys, func(a, b int) bool {
-		if keys[a].key != keys[b].key {
-			return keys[a].key < keys[b].key
-		}
-		return keys[a].k < keys[b].k
-	})
-	spent := map[int]float64{}
-	a := make(Assignment, len(in.Columns))
+	keys := wholeColumnKeys(sc.keysIn(), in)
+	sc.keysOut(keys)
+	spent := sc.spentMap()
 	remaining := in.F
 	for _, kd := range keys {
 		if remaining == 0 {
@@ -675,7 +858,6 @@ func (e *Engine) solveGreedyCapped(in *Instance) Assignment {
 		a[kd.k] = take
 		remaining -= take
 	}
-	return a
 }
 
 func absI64(v int64) int64 {

@@ -3,7 +3,6 @@ package core
 import (
 	"fmt"
 	"math"
-	"sort"
 
 	"pilfill/internal/ilp"
 	"pilfill/internal/lp"
@@ -52,17 +51,22 @@ func withIncumbent(opts *ilp.Options, inc []float64) *ilp.Options {
 // this is in fact optimal, so the seeded search typically proves optimality
 // at the root node. Returns nils for trivial (empty) instances.
 func BuildILPI(in *Instance) (*ilp.Problem, []float64) {
+	return buildILPI(in, nil)
+}
+
+// buildILPI is BuildILPI sourcing its slices from sc when non-nil; the
+// program it builds is identical either way (the scratch path runs the same
+// code over reused buffers).
+func buildILPI(in *Instance, sc *SolveScratch) (*ilp.Problem, []float64) {
 	k := len(in.Columns)
 	if k == 0 || in.F == 0 {
 		return nil, nil
 	}
-	p := &ilp.Problem{
-		NumVars:   k,
-		Objective: make([]float64, k),
-		VarTypes:  make([]ilp.VarType, k),
-		Upper:     make([]float64, k),
-	}
-	sum := make([]float64, k)
+	sc.resetRows()
+	p := sc.problem()
+	p.NumVars = k
+	p.Objective, p.VarTypes, p.Upper = sc.probBuffers(k)
+	sum := sc.newRow(k)
 	for i := range in.Columns {
 		p.Objective[i] = in.Columns[i].LinearSlope
 		p.VarTypes[i] = ilp.Integer
@@ -70,32 +74,28 @@ func BuildILPI(in *Instance) (*ilp.Problem, []float64) {
 		sum[i] = 1
 	}
 	normalize(p.Objective, nil)
-	p.Constraints = []lp.Constraint{{Coeffs: sum, Op: lp.EQ, RHS: float64(in.F)}}
+	p.Constraints = append(sc.constraints(), lp.Constraint{Coeffs: sum, Op: lp.EQ, RHS: float64(in.F)})
+	sc.keepConstraints(p.Constraints)
 
 	// Incumbent: cheapest-slope-first greedy (normalization preserves the
-	// order). Index tie-break keeps it deterministic.
-	order := make([]int, k)
-	for i := range order {
-		order[i] = i
+	// order). Index tie-break keeps it deterministic; the (objective, index)
+	// key is a total order, so any sort yields the same permutation.
+	keys := sc.keysBuf(k)
+	for i := range keys {
+		keys[i] = costKey{k: i, key: p.Objective[i]}
 	}
-	sort.Slice(order, func(a, b int) bool {
-		oa, ob := order[a], order[b]
-		if p.Objective[oa] != p.Objective[ob] {
-			return p.Objective[oa] < p.Objective[ob]
-		}
-		return oa < ob
-	})
-	inc := make([]float64, k)
+	sortCostKeys(keys)
+	inc := sc.incBuf(k)
 	remaining := in.F
-	for _, i := range order {
+	for _, kd := range keys {
 		if remaining == 0 {
 			break
 		}
-		take := in.Columns[i].MaxM
+		take := in.Columns[kd.k].MaxM
 		if take > remaining {
 			take = remaining
 		}
-		inc[i] = float64(take)
+		inc[kd.k] = float64(take)
 		remaining -= take
 	}
 	return p, inc
@@ -179,7 +179,14 @@ type ILPIIProgram struct {
 // Decode maps a solution vector of P back to a per-column fill Assignment.
 func (g *ILPIIProgram) Decode(x []float64) Assignment {
 	a := make(Assignment, g.k)
+	g.decodeInto(a, x)
+	return a
+}
+
+// decodeInto is Decode writing into a caller-owned Assignment (length k).
+func (g *ILPIIProgram) decodeInto(a Assignment, x []float64) {
 	for i, v := range g.vars {
+		a[i] = 0
 		if v.free {
 			a[i] = int(x[v.base] + 0.5)
 			continue
@@ -191,13 +198,12 @@ func (g *ILPIIProgram) Decode(x []float64) Assignment {
 			}
 		}
 	}
-	return a
 }
 
-// encode maps an Assignment to a solution vector of P (the inverse of
-// Decode), used to express the greedy incumbent in indicator variables.
-func (g *ILPIIProgram) encode(a Assignment) []float64 {
-	x := make([]float64, g.P.NumVars)
+// encodeInto maps an Assignment to a zeroed solution vector x of P (the
+// inverse of Decode), used to express the greedy incumbent in indicator
+// variables.
+func (g *ILPIIProgram) encodeInto(x []float64, a Assignment) {
 	for i, v := range g.vars {
 		if v.free {
 			x[v.base] = float64(a[i])
@@ -205,7 +211,6 @@ func (g *ILPIIProgram) encode(a Assignment) []float64 {
 			x[v.base+a[i]] = 1
 		}
 	}
-	return x
 }
 
 // BuildILPII constructs the ILP-II program (Eqs 16–23) for an instance: the
@@ -224,13 +229,22 @@ func (g *ILPIIProgram) encode(a Assignment) []float64 {
 // total added unweighted delay inside the tile. Returns nil for trivial
 // (empty) instances.
 func BuildILPII(in *Instance, netCap *NetCap) *ILPIIProgram {
+	return buildILPII(in, netCap, nil)
+}
+
+// buildILPII is BuildILPII sourcing its slices from sc when non-nil; the
+// program it builds is identical either way (the scratch path runs the same
+// code over reused buffers, and both paths emit the per-net cap rows in
+// ascending net order).
+func buildILPII(in *Instance, netCap *NetCap, sc *SolveScratch) *ILPIIProgram {
 	k := len(in.Columns)
 	if k == 0 || in.F == 0 {
 		return nil
 	}
+	sc.resetRows()
 	// Variable layout: first the binary expansions of costed columns, then
 	// one integer per free column.
-	vars := make([]ilpiiVars, k)
+	vars := sc.varsBuf(k)
 	nv := 0
 	for i := range in.Columns {
 		cv := &in.Columns[i]
@@ -242,13 +256,11 @@ func BuildILPII(in *Instance, netCap *NetCap) *ILPIIProgram {
 			nv += cv.MaxM + 1
 		}
 	}
-	p := &ilp.Problem{
-		NumVars:   nv,
-		Objective: make([]float64, nv),
-		VarTypes:  make([]ilp.VarType, nv),
-		Upper:     make([]float64, nv),
-	}
-	fillRow := make([]float64, nv)
+	p := sc.problem()
+	p.NumVars = nv
+	p.Objective, p.VarTypes, p.Upper = sc.probBuffers(nv)
+	cons := sc.constraints()
+	fillRow := sc.newRow(nv)
 	for i := range in.Columns {
 		cv := &in.Columns[i]
 		v := vars[i]
@@ -258,7 +270,7 @@ func BuildILPII(in *Instance, netCap *NetCap) *ILPIIProgram {
 			fillRow[v.base] = 1
 			continue
 		}
-		oneRow := make([]float64, v.base+v.count)
+		oneRow := sc.newRow(v.base + v.count)
 		for n := 0; n <= cv.MaxM; n++ {
 			j := v.base + n
 			// Declared Integer with a native upper bound of 1 (equivalent to
@@ -270,16 +282,16 @@ func BuildILPII(in *Instance, netCap *NetCap) *ILPIIProgram {
 			fillRow[j] = float64(n)
 			oneRow[j] = 1
 		}
-		p.Constraints = append(p.Constraints, lp.Constraint{Coeffs: oneRow, Op: lp.EQ, RHS: 1})
+		cons = append(cons, lp.Constraint{Coeffs: oneRow, Op: lp.EQ, RHS: 1})
 	}
 	normalize(p.Objective, nil)
-	p.Constraints = append(p.Constraints, lp.Constraint{Coeffs: fillRow, Op: lp.EQ, RHS: float64(in.F)})
+	cons = append(cons, lp.Constraint{Coeffs: fillRow, Op: lp.EQ, RHS: float64(in.F)})
 
 	if netCap != nil && (netCap.MaxAddedDelay > 0 || netCap.PerNet != nil) {
 		// Per-net rows: Σ_k Σ_n ΔC_k(n)·sf·R_l(x_k)·m_{k,n} <= cap. The
 		// switch-factor-scaled resistances keep the bound consistent with
 		// the per-net delays Evaluate and Result.PerNet report.
-		rows := map[int][]float64{}
+		rows := sc.netRowsBuf()
 		for i := range in.Columns {
 			cv := &in.Columns[i]
 			v := vars[i]
@@ -292,7 +304,7 @@ func BuildILPII(in *Instance, netCap *NetCap) *ILPIIProgram {
 				}
 				row := rows[net]
 				if row == nil {
-					row = make([]float64, nv)
+					row = sc.newRow(nv)
 					rows[net] = row
 				}
 				for n := 1; n <= cv.MaxM; n++ {
@@ -302,18 +314,41 @@ func BuildILPII(in *Instance, netCap *NetCap) *ILPIIProgram {
 			addSide(cv.NetLow, cv.REffLow)
 			addSide(cv.NetHigh, cv.REffHigh)
 		}
-		for net, row := range rows {
+		// Ascending net order keeps the constraint order — and therefore the
+		// branch-and-bound trajectory — identical run to run (map iteration
+		// order is randomized).
+		for _, net := range sc.sortedNets(rows) {
+			row := rows[net]
 			rhs := netCap.budgetFor(net)
 			if rhs <= 0 {
 				continue
 			}
 			normalize(row, &rhs)
-			p.Constraints = append(p.Constraints, lp.Constraint{Coeffs: row, Op: lp.LE, RHS: rhs})
+			cons = append(cons, lp.Constraint{Coeffs: row, Op: lp.LE, RHS: rhs})
 		}
 	}
+	p.Constraints = cons
+	sc.keepConstraints(cons)
 
-	g := &ILPIIProgram{P: p, vars: vars, k: k}
-	g.Incumbent = g.encode(SolveMarginalGreedy(in))
+	var g *ILPIIProgram
+	if sc != nil {
+		sc.prog = ILPIIProgram{P: p, vars: vars, k: k}
+		g = &sc.prog
+	} else {
+		g = &ILPIIProgram{P: p, vars: vars, k: k}
+	}
+	ainc := sc.assignBuf(k)
+	// Branch rather than hand out a local fallback pointer: taking the
+	// local's address unconditionally would make it escape on every call.
+	if sc != nil {
+		solveMarginalGreedyInto(ainc, in, &sc.mheap)
+	} else {
+		var h marginalHeap
+		solveMarginalGreedyInto(ainc, in, &h)
+	}
+	x := sc.incBuf(nv)
+	g.encodeInto(x, ainc)
+	g.Incumbent = x
 	return g
 }
 
@@ -332,4 +367,50 @@ func SolveILPII(in *Instance, opts *ilp.Options, netCap *NetCap) (Assignment, *i
 		return nil, sol, fmt.Errorf("core: ILP-II: solver returned %v", sol.Status)
 	}
 	return g.Decode(sol.X), sol, nil
+}
+
+// solveILPI solves ILP-I on the scratch's searcher, writing the assignment
+// into a (zeroed, length == columns). opts is mutated (Incumbent/WarmStart)
+// — it is the scratch's per-tile options copy. Error messages and
+// node/pivot accounting match SolveILPI exactly.
+func (sc *SolveScratch) solveILPI(in *Instance, opts *ilp.Options, a Assignment) (nodes, pivots int, err error) {
+	p, inc := buildILPI(in, sc)
+	if p == nil {
+		return 0, 0, nil
+	}
+	opts.Incumbent = inc
+	// The greedy incumbent IS the relaxation's optimal vertex for ILP-I's
+	// linear objective, so warm-starting the node LPs from it pays off.
+	opts.WarmStart = true
+	sol, err := sc.searcher.Solve(p, opts)
+	if err != nil {
+		return 0, 0, fmt.Errorf("core: ILP-I: %w", err)
+	}
+	if sol.Status != ilp.Optimal && sol.Status != ilp.Feasible {
+		return sol.Nodes, sol.LPPivots, fmt.Errorf("core: ILP-I: solver returned %v", sol.Status)
+	}
+	for i := range a {
+		a[i] = int(sol.X[i] + 0.5)
+	}
+	return sol.Nodes, sol.LPPivots, nil
+}
+
+// solveILPII solves ILP-II on the scratch's searcher, writing the assignment
+// into a (zeroed, length == columns). Error messages and node/pivot
+// accounting match SolveILPII exactly.
+func (sc *SolveScratch) solveILPII(in *Instance, opts *ilp.Options, netCap *NetCap, a Assignment) (nodes, pivots int, err error) {
+	g := buildILPII(in, netCap, sc)
+	if g == nil {
+		return 0, 0, nil
+	}
+	opts.Incumbent = g.Incumbent
+	sol, err := sc.searcher.Solve(g.P, opts)
+	if err != nil {
+		return 0, 0, fmt.Errorf("core: ILP-II: %w", err)
+	}
+	if sol.Status != ilp.Optimal && sol.Status != ilp.Feasible {
+		return sol.Nodes, sol.LPPivots, fmt.Errorf("core: ILP-II: solver returned %v", sol.Status)
+	}
+	g.decodeInto(a, sol.X)
+	return sol.Nodes, sol.LPPivots, nil
 }

@@ -133,21 +133,24 @@ func (in *Instance) Cost(a Assignment) float64 {
 }
 
 // Evaluate returns the measured unweighted and weighted delay increases of
-// an assignment under the exact capacitance model.
-func (in *Instance) Evaluate(a Assignment) (unweighted, weighted float64) {
+// an assignment under the exact capacitance model. An assignment exceeding a
+// column's measurement curve indicates a capacity-extraction bug and is
+// reported as an error (matching accumulatePerNet) rather than silently
+// clamped, which would under-report the delay impact.
+func (in *Instance) Evaluate(a Assignment) (unweighted, weighted float64, err error) {
 	for k, m := range a {
 		cv := &in.Columns[k]
 		if m <= 0 || cv.EvalUnweighted == nil {
 			continue
 		}
-		mm := m
-		if mm >= len(cv.EvalUnweighted) {
-			mm = len(cv.EvalUnweighted) - 1
+		if m >= len(cv.EvalUnweighted) {
+			return 0, 0, fmt.Errorf("core: column %d assignment %d exceeds measurement curve (max %d)",
+				k, m, len(cv.EvalUnweighted)-1)
 		}
-		unweighted += cv.EvalUnweighted[mm]
-		weighted += cv.EvalWeighted[mm]
+		unweighted += cv.EvalUnweighted[m]
+		weighted += cv.EvalWeighted[m]
 	}
-	return unweighted, weighted
+	return unweighted, weighted, nil
 }
 
 // buildInstance assembles the MDFC instance for one tile.

@@ -169,7 +169,10 @@ func (e *Engine) RunMVDCContext(ctx context.Context, grid *density.Grid, tileDel
 				continue
 			}
 			a := fr.AssignmentFor(n)
-			u, w := fr.Instance.Evaluate(a)
+			u, w, err := fr.Instance.Evaluate(a)
+			if err != nil {
+				return nil, fmt.Errorf("core: MVDC tile (%d,%d): %w", i, j, err)
+			}
 			res.Unweighted += u
 			res.Weighted += w
 			placed := 0
@@ -182,7 +185,7 @@ func (e *Engine) RunMVDCContext(ctx context.Context, grid *density.Grid, tileDel
 			if err := e.accumulatePerNet(res.PerNet, fr.Instance, a); err != nil {
 				return nil, fmt.Errorf("core: MVDC tile (%d,%d): %w", i, j, err)
 			}
-			if err := e.place(res.Fill, fr.Instance, a); err != nil {
+			if err := e.place(res.Fill, fr.Instance, a, nil); err != nil {
 				return nil, fmt.Errorf("core: MVDC tile (%d,%d): %w", i, j, err)
 			}
 		}
@@ -294,7 +297,10 @@ func (e *Engine) RunBudgetedContext(ctx context.Context, instances []*Instance, 
 			placed += m
 		}
 		evalStart := time.Now()
-		u, w := in.Evaluate(a)
+		u, w, err := in.Evaluate(a)
+		if err != nil {
+			return nil, fmt.Errorf("core: budgeted tile (%d,%d): %w", in.I, in.J, err)
+		}
 		res.Unweighted += u
 		res.Weighted += w
 		res.Requested += in.F
@@ -306,7 +312,7 @@ func (e *Engine) RunBudgetedContext(ctx context.Context, instances []*Instance, 
 			return nil, fmt.Errorf("core: budgeted tile (%d,%d): %w", in.I, in.J, err)
 		}
 		placeStart := time.Now()
-		err = e.place(res.Fill, in, a)
+		err = e.place(res.Fill, in, a, nil)
 		res.Phases.Place += time.Since(placeStart)
 		if err != nil {
 			return nil, fmt.Errorf("core: budgeted tile (%d,%d): %w", in.I, in.J, err)

@@ -1,0 +1,285 @@
+package core
+
+import (
+	"math/rand"
+	"slices"
+
+	"pilfill/internal/ilp"
+	"pilfill/internal/lp"
+)
+
+// SolveScratch owns every reusable buffer of one worker's tile-solve path:
+// the branch-and-bound searcher (which in turn owns its lp.Workspace), the
+// ILP-I/ILP-II problem-builder buffers, and the per-method solver scratch
+// (greedy sort keys, marginal heap, Normal's sampler and rng, DP tables).
+// After a few tiles the buffers reach the instance family's high-water mark
+// and the steady-state solve path stops allocating.
+//
+// A SolveScratch is strictly worker-local: Engine.RunContext borrows one per
+// worker from the engine's pool and returns it when the run ends, so no two
+// goroutines ever share one. Everything built in a scratch (problems,
+// incumbents, solutions) is overwritten by the next tile solved on it.
+//
+// Buffer reuse never changes results: the builders run the same code as the
+// allocating BuildILPI/BuildILPII/Solve* paths, only sourcing their slices
+// from the scratch, so pooled and unpooled runs are bit-identical.
+type SolveScratch struct {
+	searcher ilp.Searcher
+	opts     ilp.Options // per-tile options copy (Incumbent/Progress wiring)
+
+	// ILP problem-builder buffers.
+	prob     ilp.Problem
+	prog     ILPIIProgram
+	obj      []float64
+	vts      []ilp.VarType
+	upper    []float64
+	cons     []lp.Constraint
+	rowArena []float64 // backing storage for constraint rows, reset per tile
+	inc      []float64 // incumbent vector
+	vars     []ilpiiVars
+	netRows  map[int][]float64
+	netKeys  []int
+	tmpA     Assignment // ILP-II incumbent assignment
+
+	// Heuristic-solver buffers.
+	keys  []costKey
+	mheap marginalHeap
+	slots []int
+	spent map[int]float64
+	rng   *rand.Rand
+
+	// DP buffers.
+	dpA, dpB    []float64
+	choiceArena []int32
+	choiceRows  [][]int32
+}
+
+// NewSolveScratch returns an empty scratch; buffers grow on first use.
+func NewSolveScratch() *SolveScratch {
+	return &SolveScratch{rng: rand.New(rand.NewSource(0))}
+}
+
+// growFloats returns s resized to n entries, reusing capacity. Contents are
+// unspecified — callers must overwrite every entry.
+func growFloats(s []float64, n int) []float64 {
+	if cap(s) < n {
+		return make([]float64, n)
+	}
+	return s[:n]
+}
+
+// growZeroFloats is growFloats with every entry zeroed.
+func growZeroFloats(s []float64, n int) []float64 {
+	s = growFloats(s, n)
+	for i := range s {
+		s[i] = 0
+	}
+	return s
+}
+
+// resetRows restarts the constraint-row arena for a new tile. Nil-safe.
+func (sc *SolveScratch) resetRows() {
+	if sc != nil {
+		sc.rowArena = sc.rowArena[:0]
+	}
+}
+
+// newRow returns a zeroed coefficient row of length n. With a scratch it is
+// carved from the row arena (rows already carved keep their old backing when
+// the arena has to grow, so they stay valid); without one it is a fresh
+// allocation.
+func (sc *SolveScratch) newRow(n int) []float64 {
+	if sc == nil {
+		return make([]float64, n)
+	}
+	old := len(sc.rowArena)
+	if cap(sc.rowArena)-old < n {
+		sc.rowArena = make([]float64, 0, 2*(cap(sc.rowArena)+n))
+		old = 0
+	}
+	row := sc.rowArena[old : old+n : old+n]
+	sc.rowArena = sc.rowArena[:old+n]
+	for i := range row {
+		row[i] = 0
+	}
+	return row
+}
+
+// problem returns a cleared ilp.Problem shell, scratch-owned when available.
+func (sc *SolveScratch) problem() *ilp.Problem {
+	if sc == nil {
+		return &ilp.Problem{}
+	}
+	sc.prob = ilp.Problem{}
+	return &sc.prob
+}
+
+// probBuffers returns zeroed Objective/VarTypes/Upper slices of length n.
+func (sc *SolveScratch) probBuffers(n int) ([]float64, []ilp.VarType, []float64) {
+	if sc == nil {
+		return make([]float64, n), make([]ilp.VarType, n), make([]float64, n)
+	}
+	sc.obj = growZeroFloats(sc.obj, n)
+	if cap(sc.vts) < n {
+		sc.vts = make([]ilp.VarType, n)
+	}
+	sc.vts = sc.vts[:n]
+	for i := range sc.vts {
+		sc.vts[i] = 0
+	}
+	sc.upper = growZeroFloats(sc.upper, n)
+	return sc.obj, sc.vts, sc.upper
+}
+
+// constraints returns an empty constraint list to append to; buildDone
+// stores the final slice back so capacity is retained across tiles.
+func (sc *SolveScratch) constraints() []lp.Constraint {
+	if sc == nil {
+		return nil
+	}
+	return sc.cons[:0]
+}
+
+// keepConstraints retains a built constraint list's capacity for reuse.
+func (sc *SolveScratch) keepConstraints(cons []lp.Constraint) {
+	if sc != nil {
+		sc.cons = cons
+	}
+}
+
+// incBuf returns a zeroed incumbent vector of length n.
+func (sc *SolveScratch) incBuf(n int) []float64 {
+	if sc == nil {
+		return make([]float64, n)
+	}
+	sc.inc = growZeroFloats(sc.inc, n)
+	return sc.inc
+}
+
+// keysBuf returns a costKey slice of length n (fully overwritten by the
+// caller before sorting).
+func (sc *SolveScratch) keysBuf(n int) []costKey {
+	if sc == nil {
+		return make([]costKey, n)
+	}
+	if cap(sc.keys) < n {
+		sc.keys = make([]costKey, n)
+	}
+	sc.keys = sc.keys[:n]
+	return sc.keys
+}
+
+// keysIn hands out the scratch's cost-key buffer (nil without one); keysOut
+// stores the possibly-regrown buffer back.
+func (sc *SolveScratch) keysIn() []costKey {
+	if sc == nil {
+		return nil
+	}
+	return sc.keys
+}
+
+func (sc *SolveScratch) keysOut(keys []costKey) {
+	if sc != nil {
+		sc.keys = keys
+	}
+}
+
+// varsBuf returns an ilpiiVars slice of length n (fully overwritten by the
+// builder).
+func (sc *SolveScratch) varsBuf(n int) []ilpiiVars {
+	if sc == nil {
+		return make([]ilpiiVars, n)
+	}
+	if cap(sc.vars) < n {
+		sc.vars = make([]ilpiiVars, n)
+	}
+	sc.vars = sc.vars[:n]
+	return sc.vars
+}
+
+// netRowsBuf returns an empty net→coefficient-row map, reused when possible.
+func (sc *SolveScratch) netRowsBuf() map[int][]float64 {
+	if sc == nil {
+		return map[int][]float64{}
+	}
+	if sc.netRows == nil {
+		sc.netRows = map[int][]float64{}
+	}
+	clear(sc.netRows)
+	return sc.netRows
+}
+
+// sortedNets returns the map's net indices in ascending order — the
+// deterministic constraint order both build paths share.
+func (sc *SolveScratch) sortedNets(rows map[int][]float64) []int {
+	var nets []int
+	if sc != nil {
+		nets = sc.netKeys[:0]
+	}
+	for net := range rows {
+		nets = append(nets, net)
+	}
+	slices.Sort(nets)
+	if sc != nil {
+		sc.netKeys = nets
+	}
+	return nets
+}
+
+// assignBuf returns a zeroed Assignment of length n.
+func (sc *SolveScratch) assignBuf(n int) Assignment {
+	if sc == nil {
+		return make(Assignment, n)
+	}
+	if cap(sc.tmpA) < n {
+		sc.tmpA = make(Assignment, n)
+	}
+	sc.tmpA = sc.tmpA[:n]
+	for i := range sc.tmpA {
+		sc.tmpA[i] = 0
+	}
+	return sc.tmpA
+}
+
+// spentMap returns an empty per-net spend map, reused when possible.
+func (sc *SolveScratch) spentMap() map[int]float64 {
+	if sc == nil {
+		return map[int]float64{}
+	}
+	if sc.spent == nil {
+		sc.spent = map[int]float64{}
+	}
+	clear(sc.spent)
+	return sc.spent
+}
+
+// getScratches borrows n worker scratches from the engine's pool, creating
+// new ones as needed. The pool is a plain mutex-guarded freelist rather than
+// a sync.Pool so warm buffers survive garbage collection — the steady-state
+// allocation guarantees (and the AllocsPerRun tests enforcing them) do not
+// depend on GC timing.
+func (e *Engine) getScratches(n int) []*SolveScratch {
+	out := make([]*SolveScratch, n)
+	e.scratchMu.Lock()
+	for i := 0; i < n; i++ {
+		if k := len(e.scratchFree); k > 0 {
+			out[i] = e.scratchFree[k-1]
+			e.scratchFree[k-1] = nil
+			e.scratchFree = e.scratchFree[:k-1]
+		}
+	}
+	e.scratchMu.Unlock()
+	for i := range out {
+		if out[i] == nil {
+			out[i] = NewSolveScratch()
+		}
+	}
+	return out
+}
+
+// putScratches returns borrowed scratches to the engine's pool.
+func (e *Engine) putScratches(scs []*SolveScratch) {
+	e.scratchMu.Lock()
+	e.scratchFree = append(e.scratchFree, scs...)
+	e.scratchMu.Unlock()
+}

@@ -6,8 +6,43 @@ import (
 	"fmt"
 	"math"
 	"math/rand"
-	"sort"
+	"slices"
 )
+
+// costKey pairs a column index with its sort key. The (key, k) pair is a
+// total order, so every sort algorithm produces the same permutation — the
+// pooled and unpooled greedy paths stay bit-identical.
+type costKey struct {
+	k   int
+	key float64
+}
+
+func cmpCostKey(a, b costKey) int {
+	if a.key != b.key {
+		if a.key < b.key {
+			return -1
+		}
+		return 1
+	}
+	return a.k - b.k
+}
+
+func sortCostKeys(keys []costKey) { slices.SortFunc(keys, cmpCostKey) }
+
+// wholeColumnKeys fills keys with each column's whole-column fill cost
+// (r̂_k · ΔC(C_k)) sorted ascending — the order Fig 8's greedy consumes.
+func wholeColumnKeys(keys []costKey, in *Instance) []costKey {
+	if cap(keys) < len(in.Columns) {
+		keys = make([]costKey, len(in.Columns))
+	}
+	keys = keys[:len(in.Columns)]
+	for k := range in.Columns {
+		cv := &in.Columns[k]
+		keys[k] = costKey{k: k, key: cv.costAt(cv.MaxM)}
+	}
+	sortCostKeys(keys)
+	return keys
+}
 
 // SolveNormal emulates the performance-oblivious baseline: the prescribed
 // number of features is spread uniformly at random over the tile's free
@@ -15,13 +50,24 @@ import (
 // would. The rng seed makes runs reproducible.
 func SolveNormal(in *Instance, rng *rand.Rand) Assignment {
 	a := make(Assignment, len(in.Columns))
+	solveNormalInto(a, in, rng, nil)
+	return a
+}
+
+// solveNormalInto is SolveNormal writing into a zeroed Assignment, reusing
+// the slots buffer; the possibly-regrown buffer is returned for the caller
+// to retain.
+func solveNormalInto(a Assignment, in *Instance, rng *rand.Rand, slots []int) []int {
 	total := in.TotalCapacity()
 	if in.F <= 0 || total == 0 {
-		return a
+		return slots
 	}
 	// Sample F distinct sites out of `total` with a partial Fisher-Yates
 	// over the implicit site array, then count per column.
-	slots := make([]int, total)
+	if cap(slots) < total {
+		slots = make([]int, total)
+	}
+	slots = slots[:total]
 	idx := 0
 	for k := range in.Columns {
 		for m := 0; m < in.Columns[k].MaxM; m++ {
@@ -34,29 +80,22 @@ func SolveNormal(in *Instance, rng *rand.Rand) Assignment {
 		slots[i], slots[j] = slots[j], slots[i]
 		a[slots[i]]++
 	}
-	return a
+	return slots
 }
 
 // SolveGreedy is Fig 8's method: columns are sorted by the delay cost of
 // filling them completely (r̂_k · ΔC(C_k)), and fill is poured into whole
 // columns in ascending cost order until the budget is exhausted.
 func SolveGreedy(in *Instance) Assignment {
-	type keyed struct {
-		k   int
-		key float64
-	}
-	keys := make([]keyed, len(in.Columns))
-	for k := range in.Columns {
-		cv := &in.Columns[k]
-		keys[k] = keyed{k: k, key: cv.costAt(cv.MaxM)}
-	}
-	sort.Slice(keys, func(a, b int) bool {
-		if keys[a].key != keys[b].key {
-			return keys[a].key < keys[b].key
-		}
-		return keys[a].k < keys[b].k // deterministic tie-break
-	})
 	a := make(Assignment, len(in.Columns))
+	solveGreedyInto(a, in, nil)
+	return a
+}
+
+// solveGreedyInto is SolveGreedy writing into a zeroed Assignment, reusing
+// the keys buffer; the possibly-regrown buffer is returned.
+func solveGreedyInto(a Assignment, in *Instance, keys []costKey) []costKey {
+	keys = wholeColumnKeys(keys, in)
 	remaining := in.F
 	for _, kd := range keys {
 		if remaining == 0 {
@@ -69,7 +108,7 @@ func SolveGreedy(in *Instance) Assignment {
 		a[kd.k] = take
 		remaining -= take
 	}
-	return a
+	return keys
 }
 
 // marginalItem is a heap entry: the cost of the next feature in a column.
@@ -93,6 +132,26 @@ func (h *marginalHeap) Push(x any)         { *h = append(*h, x.(marginalItem)) }
 func (h *marginalHeap) Pop() any           { old := *h; n := len(old); it := old[n-1]; *h = old[:n-1]; return it }
 func (h marginalHeap) Peek() *marginalItem { return &h[0] }
 
+// pushItem and popItem are heap.Push/heap.Pop without the interface{}
+// boxing (which allocates per item). heap.Fix performs the identical
+// sift-up/sift-down, and Less is a total order (a column appears at most
+// once), so the pop sequence matches container/heap exactly.
+func (h *marginalHeap) pushItem(it marginalItem) {
+	*h = append(*h, it)
+	heap.Fix(h, h.Len()-1)
+}
+
+func (h *marginalHeap) popItem() marginalItem {
+	n := h.Len() - 1
+	h.Swap(0, n)
+	it := (*h)[n]
+	*h = (*h)[:n]
+	if n > 0 {
+		heap.Fix(h, 0)
+	}
+	return it
+}
+
 // SolveMarginalGreedy places one feature at a time, always into the column
 // with the cheapest marginal cost. Because every exact cost curve is convex
 // in m (ΔC(m) = ε·a/(d−m·w) − C_B has increasing differences), this greedy
@@ -101,26 +160,36 @@ func (h marginalHeap) Peek() *marginalItem { return &h[0] }
 // coarser granularity.
 func SolveMarginalGreedy(in *Instance) Assignment {
 	a := make(Assignment, len(in.Columns))
-	h := make(marginalHeap, 0, len(in.Columns))
+	var h marginalHeap
+	solveMarginalGreedyInto(a, in, &h)
+	return a
+}
+
+// solveMarginalGreedyInto is SolveMarginalGreedy writing into a zeroed
+// Assignment. The heap buffer is passed by pointer (not value-in/value-out)
+// so the slice header never escapes — with a scratch-owned buffer the warm
+// path is allocation-free.
+func solveMarginalGreedyInto(a Assignment, in *Instance, hp *marginalHeap) {
+	h := (*hp)[:0]
 	for k := range in.Columns {
 		if in.Columns[k].MaxM > 0 {
 			h = append(h, marginalItem{k: k, next: 1, delta: in.Columns[k].costAt(1)})
 		}
 	}
-	heap.Init(&h)
-	for placed := 0; placed < in.F && h.Len() > 0; placed++ {
-		it := heap.Pop(&h).(marginalItem)
+	*hp = h
+	heap.Init(hp)
+	for placed := 0; placed < in.F && hp.Len() > 0; placed++ {
+		it := hp.popItem()
 		a[it.k] = it.next
 		cv := &in.Columns[it.k]
 		if it.next < cv.MaxM {
-			heap.Push(&h, marginalItem{
+			hp.pushItem(marginalItem{
 				k:     it.k,
 				next:  it.next + 1,
 				delta: cv.costAt(it.next+1) - cv.costAt(it.next),
 			})
 		}
 	}
-	return a
 }
 
 // DPMaxStates bounds the dynamic program's table size (columns × budget).
@@ -138,23 +207,57 @@ func SolveDP(in *Instance) (Assignment, error) {
 // per column (the outer loop of the table fill), bounding the work after a
 // cancel to one column's O(F·maxM) row.
 func SolveDPContext(ctx context.Context, in *Instance) (Assignment, error) {
+	a := make(Assignment, len(in.Columns))
+	if err := solveDPInto(ctx, a, in, nil); err != nil {
+		return nil, err
+	}
+	return a, nil
+}
+
+// solveDPInto is the DP table fill writing into a caller-owned Assignment,
+// sourcing the dp rows and choice table from sc when non-nil.
+func solveDPInto(ctx context.Context, a Assignment, in *Instance, sc *SolveScratch) error {
 	kn := len(in.Columns)
 	if int64(kn)*int64(in.F+1) > DPMaxStates {
-		return nil, fmt.Errorf("core: DP instance too large (%d columns × %d budget)", kn, in.F)
+		return fmt.Errorf("core: DP instance too large (%d columns × %d budget)", kn, in.F)
 	}
 	const inf = math.MaxFloat64
-	dp := make([]float64, in.F+1)
-	choice := make([][]int32, kn) // choice[k][f] = m chosen for column k at budget f
+	var dp, next []float64
+	var choice [][]int32
+	if sc != nil {
+		sc.dpA = growFloats(sc.dpA, in.F+1)
+		sc.dpB = growFloats(sc.dpB, in.F+1)
+		dp, next = sc.dpA, sc.dpB
+		if cap(sc.choiceRows) < kn {
+			sc.choiceRows = make([][]int32, kn)
+		}
+		sc.choiceRows = sc.choiceRows[:kn]
+		need := kn * (in.F + 1)
+		if cap(sc.choiceArena) < need {
+			sc.choiceArena = make([]int32, need)
+		}
+		sc.choiceArena = sc.choiceArena[:need]
+		for k := 0; k < kn; k++ {
+			sc.choiceRows[k] = sc.choiceArena[k*(in.F+1) : (k+1)*(in.F+1)]
+		}
+		choice = sc.choiceRows
+	} else {
+		dp = make([]float64, in.F+1)
+		next = make([]float64, in.F+1)
+		choice = make([][]int32, kn) // choice[k][f] = m chosen for column k at budget f
+		for k := 0; k < kn; k++ {
+			choice[k] = make([]int32, in.F+1)
+		}
+	}
+	dp[0] = 0
 	for f := 1; f <= in.F; f++ {
 		dp[f] = inf
 	}
 	for k := 0; k < kn; k++ {
 		if err := ctx.Err(); err != nil {
-			return nil, err
+			return err
 		}
 		cv := &in.Columns[k]
-		choice[k] = make([]int32, in.F+1)
-		next := make([]float64, in.F+1)
 		for f := 0; f <= in.F; f++ {
 			best := inf
 			var bestM int32
@@ -175,17 +278,16 @@ func SolveDPContext(ctx context.Context, in *Instance) (Assignment, error) {
 			next[f] = best
 			choice[k][f] = bestM
 		}
-		dp = next
+		dp, next = next, dp
 	}
 	if dp[in.F] == inf {
-		return nil, fmt.Errorf("core: DP found no feasible assignment for F=%d", in.F)
+		return fmt.Errorf("core: DP found no feasible assignment for F=%d", in.F)
 	}
-	a := make(Assignment, kn)
 	f := in.F
 	for k := kn - 1; k >= 0; k-- {
 		m := int(choice[k][f])
 		a[k] = m
 		f -= m
 	}
-	return a, nil
+	return nil
 }

@@ -249,36 +249,142 @@ func (h *nodeHeap) Pop() interface{} {
 }
 
 // Solve runs branch-and-bound and returns the best solution found. An error
-// is returned only for invalid input or simplex numeric failure.
+// is returned only for invalid input or simplex numeric failure. It is a
+// thin wrapper over a throwaway Searcher, so the returned Solution is the
+// caller's to keep; batch callers solving many problems should reuse one
+// Searcher per goroutine instead.
 func Solve(p *Problem, opts *Options) (*Solution, error) {
+	var s Searcher
+	return s.Solve(p, opts)
+}
+
+// Searcher is a reusable branch-and-bound engine. One Searcher owns one
+// lp.Workspace plus every buffer the search needs — the node freelist, the
+// open-node heap, the root and per-node bound boxes, and the incumbent
+// vector — so solving many problems on one Searcher allocates only while
+// those buffers grow to the problem family's high-water mark and is
+// allocation-free in the steady state.
+//
+// The returned Solution (including its X slice) is searcher-owned and valid
+// only until the next Solve on the same Searcher; callers keeping solutions
+// across solves must copy them. Results are bit-identical to the package
+// level Solve. A Searcher is not safe for concurrent use; the zero value is
+// ready to use.
+type Searcher struct {
+	ws lp.Workspace
+
+	p         *Problem
+	opts      Options
+	deadline  time.Time
+	baseLo    []float64 // root bound box (tightened in place by tightenRoot)
+	baseUp    []float64
+	lo, up    []float64 // scratch: current node's materialized bound box
+	best      float64
+	bestX     []float64 // reusable incumbent buffer; valid when haveBest
+	haveBest  bool
+	seeded    bool // bestX came from Options.Incumbent
+	nodes     int
+	pivots    int
+	seq       int
+	rootUnbd  bool
+	sawRoot   bool
+	lastBound float64 // LP bound of the most recently popped node
+
+	heap nodeHeap   // reusable open-node heap
+	free []*node    // node freelist; bounds slices keep their capacity
+	prob lp.Problem // reusable node LP shell
+	sol  Solution   // reusable result
+}
+
+// NewSearcher returns an empty reusable branch-and-bound searcher.
+func NewSearcher() *Searcher { return &Searcher{} }
+
+// Stats returns the searcher's underlying LP workspace counters (cumulative
+// solves and pivots across every node LP this searcher has run).
+func (s *Searcher) Stats() lp.WorkspaceStats { return s.ws.Stats() }
+
+// reset prepares the searcher for a new problem, reusing every buffer.
+func (s *Searcher) reset(p *Problem, o Options) {
+	s.p = p
+	s.opts = o
+	s.deadline = time.Time{}
+	if o.Timeout > 0 {
+		s.deadline = time.Now().Add(o.Timeout)
+	}
+	s.baseLo = growZeroF(s.baseLo, p.NumVars)
+	s.baseUp = growZeroF(s.baseUp, p.NumVars)
+	s.lo = growZeroF(s.lo, p.NumVars)
+	s.up = growZeroF(s.up, p.NumVars)
+	for j := 0; j < p.NumVars; j++ {
+		s.baseUp[j] = p.upper(j)
+	}
+	s.best = math.Inf(1)
+	s.haveBest = false
+	s.seeded = false
+	s.nodes = 0
+	s.pivots = 0
+	s.seq = 0
+	s.rootUnbd = false
+	s.sawRoot = false
+	s.lastBound = math.Inf(-1)
+	for i := range s.heap {
+		s.release(s.heap[i])
+		s.heap[i] = nil
+	}
+	s.heap = s.heap[:0]
+}
+
+// growZeroF returns s resized to n entries, all zero, reusing capacity.
+func growZeroF(s []float64, n int) []float64 {
+	if cap(s) < n {
+		return make([]float64, n)
+	}
+	s = s[:n]
+	for i := range s {
+		s[i] = 0
+	}
+	return s
+}
+
+// newNode takes a node from the freelist (or allocates one) and fills it
+// with the parent bound chain plus an optional extra bound. The node's
+// bounds slice keeps its capacity across reuse, so a warm searcher builds
+// chains without allocating.
+func (s *Searcher) newNode(parent []bound, b *bound, lower float64) *node {
+	var n *node
+	if k := len(s.free); k > 0 {
+		n = s.free[k-1]
+		s.free[k-1] = nil
+		s.free = s.free[:k-1]
+	} else {
+		n = &node{}
+	}
+	n.bounds = append(n.bounds[:0], parent...)
+	if b != nil {
+		n.bounds = append(n.bounds, *b)
+	}
+	n.lower = lower
+	s.seq++
+	n.seq = s.seq
+	return n
+}
+
+// release returns a node to the freelist.
+func (s *Searcher) release(n *node) { s.free = append(s.free, n) }
+
+// Solve runs branch-and-bound on the searcher's reused buffers. See the
+// Searcher doc for the Solution ownership contract; statuses, objectives and
+// node/pivot counts are identical to the package-level Solve.
+func (s *Searcher) Solve(p *Problem, opts *Options) (*Solution, error) {
 	if err := p.validate(); err != nil {
 		return nil, err
 	}
 	o := fillOptions(opts)
-	deadline := time.Time{}
-	if o.Timeout > 0 {
-		deadline = time.Now().Add(o.Timeout)
-	}
-
-	s := &searcher{
-		p:         p,
-		opts:      o,
-		deadline:  deadline,
-		ws:        lp.NewWorkspace(),
-		best:      math.Inf(1),
-		lastBound: math.Inf(-1),
-		baseLo:    make([]float64, p.NumVars),
-		baseUp:    make([]float64, p.NumVars),
-		lo:        make([]float64, p.NumVars),
-		up:        make([]float64, p.NumVars),
-	}
-	for j := 0; j < p.NumVars; j++ {
-		s.baseUp[j] = p.upper(j)
-	}
+	s.reset(p, o)
 	if o.Incumbent != nil {
-		if x, obj, ok := s.checkIncumbent(o.Incumbent); ok {
+		if obj, ok := s.checkIncumbent(o.Incumbent); ok {
 			s.best = obj
-			s.bestX = x
+			s.haveBest = true
 			s.seeded = true
 		}
 	}
@@ -294,36 +400,33 @@ func Solve(p *Problem, opts *Options) (*Solution, error) {
 		}
 		return sol
 	}
-	h := &nodeHeap{{lower: math.Inf(-1)}}
-	for h.Len() > 0 {
-		if s.nodes >= o.MaxNodes || (!deadline.IsZero() && time.Now().After(deadline)) ||
+	heap.Push(&s.heap, s.newNode(nil, nil, math.Inf(-1)))
+	for s.heap.Len() > 0 {
+		if s.nodes >= o.MaxNodes || (!s.deadline.IsZero() && time.Now().After(s.deadline)) ||
 			(o.Cancel != nil && o.Cancel()) {
-			return finish(false, h.Len()), nil
+			return finish(false, s.heap.Len()), nil
 		}
-		n := heap.Pop(h).(*node)
+		n := heap.Pop(&s.heap).(*node)
 		if n.lower >= s.best-1e-9 {
 			// Best-first ordering means every remaining node is pruned too.
+			s.release(n)
 			return finish(true, 0), nil
 		}
 		s.lastBound = n.lower
-		children, err := s.expand(n)
+		err := s.expand(n)
+		s.release(n)
 		if err != nil {
 			return nil, err
 		}
-		for _, c := range children {
-			s.seq++
-			c.seq = s.seq
-			heap.Push(h, c)
-		}
 		if o.Progress != nil && s.nodes%every == 0 {
-			o.Progress(s.progress(h.Len(), false))
+			o.Progress(s.progress(s.heap.Len(), false))
 		}
 	}
 	return finish(true, 0), nil
 }
 
 // progress assembles the point-in-time view passed to Options.Progress.
-func (s *searcher) progress(open int, done bool) Progress {
+func (s *Searcher) progress(open int, done bool) Progress {
 	p := Progress{
 		Nodes:    s.nodes,
 		LPPivots: s.pivots,
@@ -331,34 +434,16 @@ func (s *searcher) progress(open int, done bool) Progress {
 		Done:     done,
 		Bound:    s.lastBound,
 	}
-	if s.bestX != nil {
+	if s.haveBest {
 		p.Incumbent = s.best
 		p.HasIncumbent = true
 	}
 	return p
 }
 
-type searcher struct {
-	p         *Problem
-	opts      Options
-	deadline  time.Time
-	ws        *lp.Workspace
-	baseLo    []float64 // root bound box (tightened in place by tightenRoot)
-	baseUp    []float64
-	lo, up    []float64 // scratch: current node's materialized bound box
-	best      float64
-	bestX     []float64
-	seeded    bool // bestX came from Options.Incumbent
-	nodes     int
-	pivots    int
-	seq       int
-	rootUnbd  bool
-	sawRoot   bool
-	lastBound float64 // LP bound of the most recently popped node
-}
-
-// expand solves the node's LP relaxation and returns child nodes (if any).
-func (s *searcher) expand(n *node) ([]*node, error) {
+// expand solves the node's LP relaxation and pushes child nodes (if any)
+// onto the searcher's open-node heap.
+func (s *Searcher) expand(n *node) error {
 	s.nodes++
 	// Materialize the node's bound box: the root box intersected with the
 	// branching chain. Later bounds in the chain are tighter or equal for
@@ -374,43 +459,43 @@ func (s *searcher) expand(n *node) ([]*node, error) {
 			s.lo[b.varIdx] = b.value
 		}
 	}
-	prob := &lp.Problem{
+	s.prob = lp.Problem{
 		NumVars:     s.p.NumVars,
 		Objective:   s.p.Objective,
 		Constraints: s.p.Constraints,
 		Lower:       s.lo,
 		Upper:       s.up,
 	}
-	if s.opts.WarmStart {
-		// The best integer point found so far warm-starts the node LP; nil
-		// until an incumbent exists. Advisory only — shortens the pivot
-		// path without changing the LP optimum.
-		prob.Hint = s.bestX
+	if s.opts.WarmStart && s.haveBest {
+		// The best integer point found so far warm-starts the node LP.
+		// Advisory only — shortens the pivot path without changing the LP
+		// optimum.
+		s.prob.Hint = s.bestX
 	}
-	sol, err := s.ws.Solve(prob)
+	sol, err := s.ws.Solve(&s.prob)
 	if err != nil {
-		return nil, err
+		return err
 	}
 	s.pivots += sol.Pivots
 	isRoot := !s.sawRoot
 	s.sawRoot = true
 	switch sol.Status {
 	case lp.Infeasible:
-		return nil, nil
+		return nil
 	case lp.Unbounded:
 		if isRoot {
 			s.rootUnbd = true
-			return nil, nil
+			return nil
 		}
 		// A bound-restricted child cannot be unbounded if the root was not;
 		// treat as numeric trouble.
-		return nil, lp.ErrNumeric
+		return lp.ErrNumeric
 	}
-	if isRoot && s.bestX != nil {
+	if isRoot && s.haveBest {
 		s.tightenRoot(sol)
 	}
 	if sol.Objective >= s.best-1e-9 {
-		return nil, nil // bound prune
+		return nil // bound prune
 	}
 
 	// Find the most fractional integer variable.
@@ -428,55 +513,58 @@ func (s *searcher) expand(n *node) ([]*node, error) {
 		}
 	}
 	if branchVar < 0 {
-		// Integer feasible: new incumbent.
-		x := make([]float64, len(sol.X))
-		copy(x, sol.X)
-		for j := range x {
+		// Integer feasible: new incumbent, copied out of the workspace-owned
+		// LP solution into the searcher's reusable buffer.
+		s.bestX = append(s.bestX[:0], sol.X...)
+		for j := range s.bestX {
 			if s.p.varType(j) != Continuous {
-				x[j] = math.Round(x[j])
+				s.bestX[j] = math.Round(s.bestX[j])
 			}
 		}
 		s.best = sol.Objective
-		s.bestX = x
+		s.haveBest = true
 		s.seeded = false
-		return nil, nil
+		return nil
 	}
 
 	v := sol.X[branchVar]
 	floorV := math.Floor(v)
-	// The "down" child is listed second so it receives the higher seq and,
+	// The "down" child is pushed second so it receives the higher seq and,
 	// on equal LP bounds, pops first — preserving the old depth-first
 	// down-before-up preference (fill problems tend to round down toward
 	// feasibility).
-	up := &node{bounds: appendBound(n.bounds, bound{branchVar, false, floorV + 1}), lower: sol.Objective}
-	down := &node{bounds: appendBound(n.bounds, bound{branchVar, true, floorV}), lower: sol.Objective}
-	return []*node{up, down}, nil
+	upB := bound{branchVar, false, floorV + 1}
+	downB := bound{branchVar, true, floorV}
+	heap.Push(&s.heap, s.newNode(n.bounds, &upB, sol.Objective))
+	heap.Push(&s.heap, s.newNode(n.bounds, &downB, sol.Objective))
+	return nil
 }
 
 // checkIncumbent validates a caller-supplied incumbent: right length, finite,
 // integral within IntTol where required, inside the bound box, and
-// satisfying every constraint within 1e-6·(1+|RHS|). It returns the rounded
-// copy and its exact objective; ok is false if any check fails.
-func (s *searcher) checkIncumbent(inc []float64) (x []float64, obj float64, ok bool) {
+// satisfying every constraint within 1e-6·(1+|RHS|). On success the rounded
+// copy is left in s.bestX and its exact objective returned; ok is false if
+// any check fails (s.bestX then holds garbage, guarded by haveBest).
+func (s *Searcher) checkIncumbent(inc []float64) (obj float64, ok bool) {
 	if len(inc) != s.p.NumVars {
-		return nil, 0, false
+		return 0, false
 	}
 	tol := s.opts.IntTol
-	x = make([]float64, len(inc))
-	copy(x, inc)
+	x := append(s.bestX[:0], inc...)
+	s.bestX = x
 	for j := range x {
 		if math.IsNaN(x[j]) || math.IsInf(x[j], 0) {
-			return nil, 0, false
+			return 0, false
 		}
 		if s.p.varType(j) != Continuous {
 			r := math.Round(x[j])
 			if math.Abs(x[j]-r) > tol {
-				return nil, 0, false
+				return 0, false
 			}
 			x[j] = r
 		}
 		if x[j] < -tol || x[j] > s.baseUp[j]+tol {
-			return nil, 0, false
+			return 0, false
 		}
 		if x[j] < 0 {
 			x[j] = 0
@@ -494,22 +582,22 @@ func (s *searcher) checkIncumbent(inc []float64) (x []float64, obj float64, ok b
 		switch c.Op {
 		case lp.LE:
 			if lhs > c.RHS+ctol {
-				return nil, 0, false
+				return 0, false
 			}
 		case lp.GE:
 			if lhs < c.RHS-ctol {
-				return nil, 0, false
+				return 0, false
 			}
 		case lp.EQ:
 			if math.Abs(lhs-c.RHS) > ctol {
-				return nil, 0, false
+				return 0, false
 			}
 		}
 	}
 	for j, c := range s.p.Objective {
 		obj += c * x[j]
 	}
-	return x, obj, true
+	return obj, true
 }
 
 // tightenRoot shrinks the root bound box of integer variables using the root
@@ -520,7 +608,7 @@ func (s *searcher) checkIncumbent(inc []float64) (x []float64, obj float64, ok b
 // floors keep every solution at least as good as the incumbent, so the
 // optimal objective is untouched — only the search space shrinks. Tightened
 // bounds are written to the root box and inherited by all descendants.
-func (s *searcher) tightenRoot(sol *lp.Solution) {
+func (s *Searcher) tightenRoot(sol *lp.Solution) {
 	if len(sol.ReducedCosts) != s.p.NumVars || math.IsInf(s.best, 1) {
 		return
 	}
@@ -550,27 +638,20 @@ func (s *searcher) tightenRoot(sol *lp.Solution) {
 	}
 }
 
-// appendBound copies the parent's bound chain and appends b, so siblings do
-// not share backing arrays.
-func appendBound(parent []bound, b bound) []bound {
-	out := make([]bound, len(parent)+1)
-	copy(out, parent)
-	out[len(parent)] = b
-	return out
-}
-
-// finish assembles the final Solution. complete reports whether the search
-// space was exhausted (as opposed to hitting node/time limits).
-func (s *searcher) finish(complete bool) *Solution {
-	sol := &Solution{Nodes: s.nodes, LPPivots: s.pivots}
+// finish assembles the final Solution in the searcher's reusable slot.
+// complete reports whether the search space was exhausted (as opposed to
+// hitting node/time limits).
+func (s *Searcher) finish(complete bool) *Solution {
+	s.sol = Solution{Nodes: s.nodes, LPPivots: s.pivots}
+	sol := &s.sol
 	switch {
 	case s.rootUnbd:
 		sol.Status = Unbounded
-	case s.bestX != nil && complete:
+	case s.haveBest && complete:
 		sol.Status = Optimal
 		sol.X = s.bestX
 		sol.Objective = s.best
-	case s.bestX != nil:
+	case s.haveBest:
 		sol.Status = Feasible
 		sol.X = s.bestX
 		sol.Objective = s.best

@@ -1,0 +1,117 @@
+package ilp
+
+import (
+	"math/rand"
+	"testing"
+
+	"pilfill/internal/lp"
+)
+
+// equalitySumProblem builds a random Σ m_k = F instance of the fill-ILP
+// shape (bounded integers, one equality row), the workload the reusable
+// Searcher is designed for.
+func equalitySumProblem(rng *rand.Rand) *Problem {
+	k := 2 + rng.Intn(8)
+	costs := make([]float64, k)
+	upper := make([]float64, k)
+	types := make([]VarType, k)
+	total := 0
+	for j := 0; j < k; j++ {
+		c := 1 + rng.Intn(6)
+		costs[j] = rng.Float64() * 10
+		upper[j] = float64(c)
+		types[j] = Integer
+		total += c
+	}
+	sum := make([]float64, k)
+	for j := range sum {
+		sum[j] = 1
+	}
+	return &Problem{
+		NumVars:     k,
+		Objective:   costs,
+		Constraints: []lp.Constraint{{Coeffs: sum, Op: lp.EQ, RHS: float64(rng.Intn(total + 1))}},
+		VarTypes:    types,
+		Upper:       upper,
+	}
+}
+
+// TestSearcherReuseMatchesFreshSolve drives one Searcher through a stream of
+// problems and checks every solve is bit-identical to a fresh package-level
+// Solve — same status, objective, solution vector, and search effort — so
+// buffer reuse provably never leaks state between tiles.
+func TestSearcherReuseMatchesFreshSolve(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	var s Searcher
+	for i := 0; i < 200; i++ {
+		p := equalitySumProblem(rng)
+		got, gotErr := s.Solve(p, nil)
+		want, wantErr := Solve(p, nil)
+		if (gotErr == nil) != (wantErr == nil) {
+			t.Fatalf("problem %d: err %v vs %v", i, gotErr, wantErr)
+		}
+		if gotErr != nil {
+			continue
+		}
+		if got.Status != want.Status || got.Objective != want.Objective ||
+			got.Nodes != want.Nodes || got.LPPivots != want.LPPivots {
+			t.Fatalf("problem %d: reused searcher diverged: %+v vs %+v", i, got, want)
+		}
+		if len(got.X) != len(want.X) {
+			t.Fatalf("problem %d: X length %d vs %d", i, len(got.X), len(want.X))
+		}
+		for j := range got.X {
+			if got.X[j] != want.X[j] {
+				t.Fatalf("problem %d: X[%d] = %v vs %v", i, j, got.X[j], want.X[j])
+			}
+		}
+	}
+}
+
+// TestSearcherSolutionOverwritten documents the ownership contract: the
+// Solution a Searcher returns is searcher-owned and overwritten by the next
+// Solve, unlike the package-level Solve whose result the caller keeps.
+func TestSearcherSolutionOverwritten(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	var s Searcher
+	p1 := equalitySumProblem(rng)
+	sol1, err := s.Solve(p1, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p2 := equalitySumProblem(rng)
+	sol2, err := s.Solve(p2, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sol1 != sol2 {
+		t.Fatal("Searcher.Solve should return the same reusable Solution")
+	}
+}
+
+// TestSearcherWarmAllocs proves the steady state: once a Searcher has solved
+// a problem family, re-solving allocates nothing.
+func TestSearcherWarmAllocs(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	var probs []*Problem
+	for i := 0; i < 8; i++ {
+		probs = append(probs, equalitySumProblem(rng))
+	}
+	var s Searcher
+	for _, p := range probs { // warm every buffer to the family's high-water mark
+		if _, err := s.Solve(p, nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	i := 0
+	avg := testing.AllocsPerRun(50, func() {
+		p := probs[i%len(probs)]
+		i++
+		if _, err := s.Solve(p, nil); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if avg > 0.5 {
+		t.Errorf("warm Searcher.Solve allocates %.1f times per call, want 0", avg)
+	}
+}

@@ -202,6 +202,12 @@ func (p *Problem) Validate() error {
 // branch-and-bound node LPs of package ilp) reuse one set of buffers instead
 // of allocating a fresh tableau per call. A Workspace is not safe for
 // concurrent use; the zero value is ready to use.
+//
+// Solve on a Workspace is allocation-free in the steady state: the returned
+// Solution — including its X and ReducedCosts slices — is owned by the
+// workspace and overwritten by the next Solve on it. Callers that need a
+// solution to outlive the next solve must copy what they keep; the package
+// level Solve uses a throwaway workspace and so has no such aliasing.
 type Workspace struct {
 	m, n     int         // constraint rows, structural variables
 	cols     int         // total columns excluding RHS
@@ -222,6 +228,9 @@ type Workspace struct {
 	preflip  []bool      // scratch per-variable hint-driven start at upper bound
 	pivots   int
 	stats    WorkspaceStats
+	x        []float64 // reusable Solution.X buffer
+	rc       []float64 // reusable Solution.ReducedCosts buffer
+	sol      Solution  // reusable Solution, overwritten per Solve
 }
 
 // WorkspaceStats are cumulative counters across every Solve on one
@@ -274,7 +283,9 @@ func growOp(s []Op, n int) []Op {
 	return s[:n]
 }
 
-// Solve optimizes the problem reusing the workspace's buffers.
+// Solve optimizes the problem reusing the workspace's buffers. The returned
+// Solution (and its X/ReducedCosts slices) is workspace-owned and valid only
+// until the next Solve on this workspace; see the Workspace doc.
 func (ws *Workspace) Solve(p *Problem) (*Solution, error) {
 	sol, err := ws.solve(p)
 	if sol != nil {
@@ -284,6 +295,12 @@ func (ws *Workspace) Solve(p *Problem) (*Solution, error) {
 	return sol, err
 }
 
+// result stores sol in the workspace's reusable Solution and returns it.
+func (ws *Workspace) result(sol Solution) (*Solution, error) {
+	ws.sol = sol
+	return &ws.sol, nil
+}
+
 func (ws *Workspace) solve(p *Problem) (*Solution, error) {
 	if err := p.Validate(); err != nil {
 		return nil, err
@@ -291,7 +308,7 @@ func (ws *Workspace) solve(p *Problem) (*Solution, error) {
 	// An empty bound box short-circuits to Infeasible without a tableau.
 	for j := 0; j < p.NumVars; j++ {
 		if p.upperOf(j) < p.lowerOf(j)-eps {
-			return &Solution{Status: Infeasible}, nil
+			return ws.result(Solution{Status: Infeasible})
 		}
 	}
 	ws.init(p)
@@ -313,7 +330,7 @@ func (ws *Workspace) solve(p *Problem) (*Solution, error) {
 		return nil, err
 	}
 	if ws.objectiveValue() > 1e-7 {
-		return &Solution{Status: Infeasible, Pivots: ws.pivots}, nil
+		return ws.result(Solution{Status: Infeasible, Pivots: ws.pivots})
 	}
 	if err := ws.driveOutArtificials(); err != nil {
 		return nil, err
@@ -336,14 +353,15 @@ func (ws *Workspace) solve(p *Problem) (*Solution, error) {
 	ws.setObjective(ws.cost)
 	if err := ws.optimize(); err != nil {
 		if errors.Is(err, errUnbounded) {
-			return &Solution{Status: Unbounded, Pivots: ws.pivots}, nil
+			return ws.result(Solution{Status: Unbounded, Pivots: ws.pivots})
 		}
 		return nil, err
 	}
 
 	// Extract x: nonbasic variables sit at the bound their orientation
 	// encodes, basic variables at lower-bound-plus-tableau-value.
-	x := make([]float64, p.NumVars)
+	ws.x = growF(ws.x, p.NumVars)
+	x := ws.x
 	for j := 0; j < ws.n; j++ {
 		if ws.flipped[j] {
 			x[j] = p.lowerOf(j) + ws.colUB[j]
@@ -374,7 +392,8 @@ func (ws *Workspace) solve(p *Problem) (*Solution, error) {
 	for j, c := range p.Objective {
 		objective += c * x[j]
 	}
-	rc := make([]float64, p.NumVars)
+	ws.rc = growF(ws.rc, p.NumVars)
+	rc := ws.rc
 	for j := 0; j < ws.n; j++ {
 		if ws.flipped[j] {
 			rc[j] = -ws.obj[j]
@@ -382,13 +401,13 @@ func (ws *Workspace) solve(p *Problem) (*Solution, error) {
 			rc[j] = ws.obj[j]
 		}
 	}
-	return &Solution{
+	return ws.result(Solution{
 		Status:       Optimal,
 		X:            x,
 		Objective:    objective,
 		Pivots:       ws.pivots,
 		ReducedCosts: rc,
-	}, nil
+	})
 }
 
 var errUnbounded = errors.New("lp: unbounded")

@@ -77,19 +77,22 @@ type ErrorResponse struct {
 // picoseconds, times in milliseconds, the Result.Phases breakdown, density
 // control before/after, and the capacitance-table cache counters.
 type ReportPayload struct {
-	Method       string         `json:"method"`
-	Requested    int            `json:"requested"`
-	Placed       int            `json:"placed"`
-	Tiles        int            `json:"tiles"`
-	ILPNodes     int            `json:"ilp_nodes,omitempty"`
-	LPPivots     int            `json:"lp_pivots,omitempty"`
-	UnweightedPS float64        `json:"unweighted_ps"`
-	WeightedPS   float64        `json:"weighted_ps"`
-	SolveCPUMS   float64        `json:"solve_cpu_ms"`
-	WallMS       float64        `json:"wall_ms"`
-	PhasesMS     PhasesPayload  `json:"phases_ms"`
-	Density      DensityPayload `json:"density"`
-	Cache        *CachePayload  `json:"cache,omitempty"`
+	Method       string  `json:"method"`
+	Requested    int     `json:"requested"`
+	Placed       int     `json:"placed"`
+	Tiles        int     `json:"tiles"`
+	ILPNodes     int     `json:"ilp_nodes,omitempty"`
+	LPPivots     int     `json:"lp_pivots,omitempty"`
+	UnweightedPS float64 `json:"unweighted_ps"`
+	WeightedPS   float64 `json:"weighted_ps"`
+	SolveCPUMS   float64 `json:"solve_cpu_ms"`
+	WallMS       float64 `json:"wall_ms"`
+	// Workers is the effective tile-solver worker count the run used (after
+	// the daemon's CPU-share clamping; see EffectiveWorkers).
+	Workers  int            `json:"workers,omitempty"`
+	PhasesMS PhasesPayload  `json:"phases_ms"`
+	Density  DensityPayload `json:"density"`
+	Cache    *CachePayload  `json:"cache,omitempty"`
 }
 
 // PhasesPayload is core.PhaseTimes in milliseconds.
@@ -133,6 +136,7 @@ func BuildReport(s *pilfill.Session, rep *pilfill.Report) *ReportPayload {
 		WeightedPS:   res.Weighted * 1e12,
 		SolveCPUMS:   ms(res.CPU),
 		WallMS:       ms(res.Wall),
+		Workers:      max(1, s.Engine.Cfg.Workers),
 		PhasesMS: PhasesPayload{
 			Preprocess: ms(res.Phases.Preprocess),
 			Solve:      ms(res.Phases.Solve),

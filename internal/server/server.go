@@ -23,6 +23,7 @@ import (
 	"log/slog"
 	"net/http"
 	"net/http/pprof"
+	"runtime"
 	"strings"
 	"sync"
 	"sync/atomic"
@@ -82,7 +83,7 @@ func New(cfg Config) *Server {
 		methods: make(map[string]string),
 	}
 	if s.factory == nil {
-		s.factory = DefaultTask
+		s.factory = DefaultTaskFactory(cfg.Queue.Workers)
 	}
 	qcfg := cfg.Queue
 	qcfg.OnFinish = s.metrics.jobFinished
@@ -257,13 +258,49 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	_ = s.metrics.write(w, s.q.Stats()) // write errors mean a gone client
 }
 
-// DefaultTask is the production task factory: it validates the request
-// up-front (so bad submissions fail with 400 instead of a Failed job) and
-// returns a task that loads the layout, prepares a session, and runs the
-// method under the job's context. Cancellation between phases is checked
-// explicitly; during the solve it propagates through Session.RunContext to
-// the tile loops and ILP node loops.
+// EffectiveWorkers resolves a job's per-run tile-solver worker count so that
+// concurrent jobs never oversubscribe the CPU: each of the queue's workers
+// gets an equal share of GOMAXPROCS (at least 1), an unset request defaults
+// to that share, and an explicit request is clamped to it. With one queue
+// worker this is plain "default to all cores".
+func EffectiveWorkers(requested, queueWorkers int) int {
+	if queueWorkers < 1 {
+		queueWorkers = 1
+	}
+	share := runtime.GOMAXPROCS(0) / queueWorkers
+	if share < 1 {
+		share = 1
+	}
+	if requested <= 0 || requested > share {
+		return share
+	}
+	return requested
+}
+
+// DefaultTask is DefaultTaskFactory for a single-worker queue — kept for
+// callers that construct tasks directly.
 func DefaultTask(req *SubmitRequest) (jobqueue.Task, error) {
+	return defaultTask(req, 1)
+}
+
+// DefaultTaskFactory returns the production task factory for a queue running
+// queueWorkers jobs concurrently. Each job's tile-solver worker count is
+// resolved with EffectiveWorkers so the daemon's total parallelism stays
+// within GOMAXPROCS; the resolved value appears as "workers" in the job
+// report.
+func DefaultTaskFactory(queueWorkers int) func(req *SubmitRequest) (jobqueue.Task, error) {
+	return func(req *SubmitRequest) (jobqueue.Task, error) {
+		return defaultTask(req, queueWorkers)
+	}
+}
+
+// defaultTask validates the request up-front (so bad submissions fail with
+// 400 instead of a Failed job) and returns a task that loads the layout,
+// prepares a session, and runs the method under the job's context.
+// Cancellation between phases is checked explicitly; during the solve it
+// propagates through Session.RunContext to the tile loops and ILP node
+// loops.
+func defaultTask(req *SubmitRequest, queueWorkers int) (jobqueue.Task, error) {
 	m, ok := ParseMethod(req.Method)
 	if !ok {
 		return nil, fmt.Errorf("unknown method %q", req.Method)
@@ -291,6 +328,7 @@ func DefaultTask(req *SubmitRequest) (jobqueue.Task, error) {
 	if o.SlackDef < 1 || o.SlackDef > 3 {
 		return nil, fmt.Errorf("slackdef %d out of range [1,3]", o.SlackDef)
 	}
+	o.Workers = EffectiveWorkers(o.Workers, queueWorkers)
 	reqCopy := *req // detach from the handler's request lifetime
 
 	return func(ctx context.Context, setPhase func(string)) (any, error) {

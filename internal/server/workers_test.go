@@ -1,0 +1,62 @@
+package server_test
+
+import (
+	"encoding/json"
+	"net/http"
+	"runtime"
+	"testing"
+
+	"pilfill/internal/jobqueue"
+	"pilfill/internal/server"
+)
+
+func TestEffectiveWorkers(t *testing.T) {
+	nproc := runtime.GOMAXPROCS(0)
+	cases := []struct {
+		requested, queueWorkers, want int
+	}{
+		{0, 1, nproc},                   // unset: all cores with one queue worker
+		{0, 2, max(1, nproc/2)},         // unset: fair share of the CPU
+		{1, 1, 1},                       // modest explicit request honored
+		{nproc * 8, 1, nproc},           // oversubscribing request clamped
+		{nproc * 8, 4, max(1, nproc/4)}, // clamped to the per-job share
+		{0, nproc * 16, 1},              // more queue workers than cores: floor 1
+		{3, 0, min(3, nproc)},           // queueWorkers<=0 treated as 1
+		{-5, 1, nproc},                  // negative request = unset
+	}
+	for _, c := range cases {
+		if got := server.EffectiveWorkers(c.requested, c.queueWorkers); got != c.want {
+			t.Errorf("EffectiveWorkers(%d, %d) = %d, want %d",
+				c.requested, c.queueWorkers, got, c.want)
+		}
+	}
+}
+
+// TestJobReportCarriesEffectiveWorkers submits a job with an absurd worker
+// request and checks the daemon clamped it and reported the value it used.
+func TestJobReportCarriesEffectiveWorkers(t *testing.T) {
+	_, ts := startServer(t, server.Config{Queue: jobqueue.Config{Capacity: 4, Workers: 1}})
+
+	code, data := doJSON(t, http.MethodPost, ts.URL+"/v1/jobs", server.SubmitRequest{
+		Testcase: "T1",
+		Method:   "Greedy",
+		Options:  server.SubmitOptions{Window: 32, R: 4, Seed: 1, Workers: 10_000},
+	})
+	if code != http.StatusAccepted {
+		t.Fatalf("submit: %d %s", code, data)
+	}
+	var sub server.JobView
+	if err := json.Unmarshal(data, &sub); err != nil {
+		t.Fatal(err)
+	}
+	final := pollJob(t, ts.URL, sub.ID, func(v server.JobView) bool {
+		return v.State == "done" || v.State == "failed"
+	})
+	if final.State != "done" {
+		t.Fatalf("job finished %s: %s", final.State, final.Error)
+	}
+	want := server.EffectiveWorkers(10_000, 1)
+	if final.Report == nil || final.Report.Workers != want {
+		t.Fatalf("report workers = %+v, want %d", final.Report, want)
+	}
+}
