@@ -4,9 +4,9 @@ GO ?= go
 VERSION ?= $(shell git describe --tags --always --dirty 2>/dev/null || echo dev)
 LDFLAGS := -ldflags "-X pilfill/internal/obs.Version=$(VERSION)"
 
-.PHONY: ci fmt vet build test race bench bench-solver bench-solver-short bench-engine bench-engine-short trace-smoke serve
+.PHONY: ci fmt vet build test race bench bench-solver bench-solver-short bench-engine bench-engine-short bench-chip bench-chip-short trace-smoke serve
 
-ci: fmt vet build test race trace-smoke bench-solver-short bench-engine-short
+ci: fmt vet build test race trace-smoke bench-solver-short bench-engine-short bench-chip-short
 
 fmt:
 	@out=$$(gofmt -l .); if [ -n "$$out" ]; then \
@@ -48,6 +48,17 @@ bench-engine:
 
 bench-engine-short:
 	$(GO) run ./cmd/benchengine -short -check -o BENCH_engine.json
+
+# Chip-scale dedup benchmark: a synthetic repeating-pattern chip solved with
+# the content-hash tile memo off and on, written to BENCH_chip.json. Fails
+# below the 10x dedup-speedup or 100x pattern-repetition floors, or on any
+# memo-on vs memo-off result divergence. bench-chip is the full
+# 1000x1000-tile (1M-tile) chip; bench-chip-short is the 100x100 CI variant.
+bench-chip:
+	$(GO) run ./cmd/benchchip -check -o BENCH_chip.json
+
+bench-chip-short:
+	$(GO) run ./cmd/benchchip -short -check -o BENCH_chip_short.json
 
 # Tracing smoke test: run a small case with -trace and validate the Chrome
 # trace-event JSON (parses, has the run/prep/tile/solve span hierarchy).

@@ -300,10 +300,10 @@ func BenchmarkEnginePreprocess(b *testing.B) {
 		if err != nil {
 			b.Fatal(err)
 		}
-		_ = eng.Instances(budget) // warm: populates the cache (all misses)
+		_, _ = eng.Instances(budget) // warm: populates the cache (all misses)
 		b.ResetTimer()
 		for i := 0; i < b.N; i++ {
-			_ = eng.Instances(budget)
+			_, _ = eng.Instances(budget)
 		}
 		if s := eng.CacheStats(); s.Hits+s.Misses > 0 {
 			b.ReportMetric(float64(s.Hits)/float64(b.N), "cache_hits/op")

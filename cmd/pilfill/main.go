@@ -64,6 +64,7 @@ func main() {
 		timingN  = flag.Int("timing", 0, "print a timing report for the worst N nets of the last result")
 		workers  = flag.Int("workers", 0, "solve tiles (and preprocess) concurrently with this many workers")
 		grounded = flag.Bool("grounded", false, "model grounded (tied) fill instead of floating fill")
+		noMemo   = flag.Bool("no-solve-memo", false, "disable the content-hash tile-solve memo (every tile solved from scratch)")
 		phases   = flag.Bool("phases", false, "print the per-run phase timing breakdown (solve/evaluate/place)")
 		timeout  = flag.Duration("timeout", 0, "abort the solves after this long (0 = no limit)")
 		jsonOut  = flag.Bool("json", false, "emit the reports as JSON (the pilfilld serialization) instead of text")
@@ -159,6 +160,7 @@ func main() {
 		NetCap:            *netCap * 1e-12,
 		Workers:           *workers,
 		Grounded:          *grounded,
+		NoSolveMemo:       *noMemo,
 		Trace:             tracer,
 		Logger:            logger,
 		SlowTileThreshold: *slowTile,

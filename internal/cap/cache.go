@@ -115,6 +115,28 @@ func (c *TableCache) Table(p Process, w, d int64, maxM int, grounded bool) Table
 	return built
 }
 
+// Preload installs tbl as the entry for the given parameters, replacing any
+// existing entry. The key is normalized exactly as Table normalizes its maxM
+// argument, so a later Table call with the same parameters returns tbl
+// verbatim. Primarily a test hook: the engine's corrupted-table regression
+// tests preload a truncated table to prove the instance builder surfaces the
+// model/extraction inconsistency instead of silently clamping around it.
+func (c *TableCache) Preload(p Process, w, d int64, maxM int, grounded bool, tbl Table) {
+	if w > 0 && d > 0 {
+		if limit := int((d - 1) / w); maxM > limit {
+			maxM = limit
+		}
+		if maxM < 0 {
+			maxM = 0
+		}
+	}
+	key := tableKey{proc: p, w: w, d: d, maxM: maxM, grounded: grounded}
+	shard := &c.shards[key.hash()%cacheShards]
+	shard.mu.Lock()
+	shard.m[key] = &tbl
+	shard.mu.Unlock()
+}
+
 // CacheStats is a point-in-time snapshot of a TableCache.
 type CacheStats struct {
 	Hits    uint64

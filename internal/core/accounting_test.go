@@ -2,6 +2,7 @@ package core
 
 import (
 	"math"
+	"strings"
 	"testing"
 
 	"pilfill/internal/cap"
@@ -44,7 +45,7 @@ func TestPerNetSumMatchesUnweighted(t *testing.T) {
 			eng, budget := buildEngine(t, false, scanline.DefIII)
 			eng.Cfg.Activity = tc.activity(len(eng.L.Nets))
 			eng.Cfg.NetCap = 1e-15 // exercises the GreedyCapped cap path
-			instances := eng.Instances(budget)
+			instances := mustInstances(t, eng, budget)
 			for _, m := range methods {
 				res, err := eng.Run(m, instances)
 				if err != nil {
@@ -65,7 +66,7 @@ func TestPerNetSumMatchesUnweightedWeightedObjective(t *testing.T) {
 		act[i] = float64(i+1) / float64(len(act)+1)
 	}
 	eng.Cfg.Activity = act
-	instances := eng.Instances(budget)
+	instances := mustInstances(t, eng, budget)
 	for _, m := range []Method{Normal, Greedy, ILPII, DP} {
 		res, err := eng.Run(m, instances)
 		if err != nil {
@@ -122,9 +123,9 @@ func TestCachedEngineMatchesUncached(t *testing.T) {
 		uncached.Cfg.Grounded = grounded
 		cached.Cfg.Grounded = grounded
 		parallel.Cfg.Grounded = grounded
-		insU := uncached.Instances(budget)
-		insC := cached.Instances(budget)
-		insP := parallel.Instances(budget)
+		insU := mustInstances(t, uncached, budget)
+		insC := mustInstances(t, cached, budget)
+		insP := mustInstances(t, parallel, budget)
 		if len(insU) != len(insC) || len(insU) != len(insP) {
 			t.Fatalf("grounded=%v: instance counts differ: %d/%d/%d", grounded, len(insU), len(insC), len(insP))
 		}
@@ -167,7 +168,7 @@ func TestCacheReusedAcrossTilesAndSessions(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	_ = eng.Instances(budget)
+	_ = mustInstances(t, eng, budget)
 	s1 := c.Stats()
 	if s1.Misses == 0 {
 		t.Fatal("no tables built")
@@ -179,7 +180,7 @@ func TestCacheReusedAcrossTilesAndSessions(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	_ = eng2.Instances(budget)
+	_ = mustInstances(t, eng2, budget)
 	s2 := c.Stats()
 	if s2.Misses != s1.Misses {
 		t.Errorf("second session rebuilt tables: misses %d -> %d", s1.Misses, s2.Misses)
@@ -189,9 +190,53 @@ func TestCacheReusedAcrossTilesAndSessions(t *testing.T) {
 	}
 }
 
+func TestInstancesErrorOnTruncatedTable(t *testing.T) {
+	// Regression: a capacitance table shorter than the extracted column
+	// capacity used to be absorbed by clamping MaxM down, silently
+	// under-filling the tile and skewing every density and delay figure
+	// downstream. Corrupt one cache entry and require the builder to refuse.
+	l, d := smallLayout(t)
+	c := cap.NewTableCache()
+	eng, err := NewEngine(l, d, testRule, Config{Layer: 0, Seed: 1, Cache: c})
+	if err != nil {
+		t.Fatal(err)
+	}
+	grid := density.NewGrid(l, d, eng.Occ, 0)
+	budget, _, err := density.MonteCarlo(grid, density.MonteCarloOptions{TargetMin: 0.15, MaxDensity: 0.4, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = mustInstances(t, eng, budget) // sanity: the healthy cache builds fine
+
+	// Find an attributed column and poison its table with one too few rows.
+	var spacing int64
+	capacity := 0
+	for i := range eng.Tiles {
+		for j := range eng.Tiles[i] {
+			for k := range eng.Tiles[i][j].Cols {
+				col := &eng.Tiles[i][j].Cols[k]
+				if (col.HasLow || col.HasHigh) && col.Capacity > 1 {
+					spacing, capacity = col.Spacing(), col.Capacity
+				}
+			}
+		}
+	}
+	if capacity == 0 {
+		t.Fatal("no attributed column with capacity > 1 in test layout")
+	}
+	truncated := cap.Table{W: testRule.Feature, D: spacing, Deltas: make([]float64, capacity)}
+	c.Preload(eng.Cfg.Proc, testRule.Feature, spacing, capacity, false, truncated)
+
+	if _, err := eng.Instances(budget); err == nil {
+		t.Fatal("Instances succeeded with a truncated capacitance table, want error")
+	} else if !strings.Contains(err.Error(), "capacitance table covers") {
+		t.Errorf("unexpected error: %v", err)
+	}
+}
+
 func TestAccountingErrorsOnCorruptAssignment(t *testing.T) {
 	eng, budget := buildEngine(t, false, scanline.DefIII)
-	instances := eng.Instances(budget)
+	instances := mustInstances(t, eng, budget)
 	var in *Instance
 	for _, cand := range instances {
 		for k := range cand.Columns {
@@ -234,11 +279,11 @@ func TestPrepStatsPopulated(t *testing.T) {
 		t.Error("NewEngine recorded no preprocessing time")
 	}
 	before := eng.Prep.Build
-	_ = eng.Instances(budget)
+	_ = mustInstances(t, eng, budget)
 	if eng.Prep.Build <= before {
 		t.Error("Instances did not accumulate build time")
 	}
-	res, err := eng.Run(Greedy, eng.Instances(budget))
+	res, err := eng.Run(Greedy, mustInstances(t, eng, budget))
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -102,6 +102,16 @@ type Config struct {
 	// its own table, the pre-cache behavior); used by benchmarks and the
 	// cache-correctness tests.
 	NoTableCache bool
+	// Memo overrides the solve memo consulted before each tile solve; nil
+	// selects SharedSolveMemo, the process-wide memo that reuses solved tile
+	// patterns across runs and sessions. Results are bit-identical with the
+	// memo on or off (see memo.go); only the work to produce them changes.
+	Memo *SolveMemo
+	// NoSolveMemo disables tile-solve memoization entirely (every tile is
+	// solved from scratch, the pre-memo behavior); used by benchmarks — the
+	// pooled-vs-unpooled allocation comparisons would otherwise measure memo
+	// hits — and the memo-correctness tests.
+	NoSolveMemo bool
 	// Trace optionally records hierarchical spans (prep → analyze/extract,
 	// run → tile → solve, ilp progress instants) into the observability
 	// layer's ring buffer. A nil tracer is free: every span call is an
@@ -147,6 +157,7 @@ type Engine struct {
 	Prep PrepStats
 
 	cache    *cap.TableCache // nil when Config.NoTableCache
+	memo     *SolveMemo      // nil when Config.NoSolveMemo
 	prepSpan obs.SpanID      // the "prep" span, parent of later build spans
 
 	// scratchFree pools worker SolveScratches across runs (see
@@ -319,7 +330,23 @@ func NewEngine(l *layout.Layout, dis *layout.Dissection, rule layout.FillRule, c
 			e.cache = cap.Shared
 		}
 	}
+	if !cfg.NoSolveMemo {
+		e.memo = cfg.Memo
+		if e.memo == nil {
+			e.memo = SharedSolveMemo
+		}
+	}
 	return e, nil
+}
+
+// MemoStats snapshots the engine's solve-memo counters (zero when the memo
+// is disabled). Note the default memo is process-wide, so the counters span
+// every engine sharing it.
+func (e *Engine) MemoStats() MemoStats {
+	if e.memo == nil {
+		return MemoStats{}
+	}
+	return e.memo.Stats()
 }
 
 // CacheStats snapshots the engine's capacitance-table cache counters (zero
@@ -336,8 +363,10 @@ func (e *Engine) CacheStats() cap.CacheStats {
 // a zero budget produce no instance. Budgets exceeding a tile's slack-column
 // capacity are clamped (the difference is reported by Result.Requested vs
 // Placed after a Run). With Config.Workers > 1 the tiles are built
-// concurrently; the instance list is identical to the serial build.
-func (e *Engine) Instances(budget density.Budget) []*Instance {
+// concurrently; the instance list is identical to the serial build. A
+// capacitance table that cannot cover a column's extracted capacity is an
+// extraction bug and surfaces as an error (lowest tile first).
+func (e *Engine) Instances(budget density.Budget) ([]*Instance, error) {
 	start := time.Now()
 	build := e.Cfg.Trace.Start("phase", "build", 0, e.prepSpan)
 	type slot struct{ i, j, want int }
@@ -350,9 +379,16 @@ func (e *Engine) Instances(budget density.Budget) []*Instance {
 		}
 	}
 	built := make([]*Instance, len(slots))
+	errs := make([]error, len(slots))
 	fanOut(e.Cfg.Workers, len(slots), func(s int) {
-		built[s] = e.buildInstance(slots[s].i, slots[s].j, slots[s].want)
+		built[s], errs[s] = e.buildInstance(slots[s].i, slots[s].j, slots[s].want)
 	})
+	for _, err := range errs {
+		if err != nil {
+			build.End()
+			return nil, err
+		}
+	}
 	var out []*Instance
 	for _, in := range built {
 		if len(in.Columns) > 0 {
@@ -364,7 +400,7 @@ func (e *Engine) Instances(budget density.Budget) []*Instance {
 	e.Prep.Total += dur
 	build.Arg("instances", int64(len(out)))
 	build.End()
-	return out
+	return out, nil
 }
 
 // PhaseTimes breaks a run's cost into phases so CPU comparisons isolate the
@@ -402,6 +438,27 @@ type Result struct {
 	Tiles        int        // instances solved
 	ILPNodes     int        // total branch-and-bound nodes (ILP methods)
 	LPPivots     int        // total simplex pivots across all node LPs (ILP methods)
+	// MemoHits/MemoMisses count tile solves served from (or stored into) the
+	// solve memo this run. With concurrent workers two tiles of the same
+	// pattern may race past the lookup and both solve, so the split between
+	// hits and misses can vary run to run — unlike every field above, which
+	// stays bit-identical regardless of memoization, pooling, or workers.
+	MemoHits   int
+	MemoMisses int
+	// IncumbentsRepaired/IncumbentsDropped count ILP-II warm-start incumbents
+	// that had to be repaired against per-net delay-cap rows, and ones no
+	// repair could save (the search then starts cold). Always zero when no
+	// net cap is configured.
+	IncumbentsRepaired int
+	IncumbentsDropped  int
+}
+
+// solveStats carries one tile solve's deterministic by-products: search
+// effort and warm-start repair outcomes. Memo entries replay them so memo-on
+// and memo-off runs accumulate identical Results.
+type solveStats struct {
+	nodes, pivots           int
+	incRepaired, incDropped bool
 }
 
 // ilpOpts copies the configured branch-and-bound limits and, when the
@@ -459,49 +516,51 @@ func (e *Engine) solveOpts(ctx context.Context, in *Instance, lane int, parent o
 // in any order — or concurrently — with identical results. A cancelled
 // context surfaces as the context's error; for the ILP methods the
 // branch-and-bound search itself is interrupted mid-tile.
-func (e *Engine) solveInstance(ctx context.Context, method Method, in *Instance, lane int, span obs.SpanID) (Assignment, int, int, error) {
+func (e *Engine) solveInstance(ctx context.Context, method Method, in *Instance, lane int, span obs.SpanID) (Assignment, solveStats, error) {
+	var st solveStats
 	if err := ctx.Err(); err != nil {
-		return nil, 0, 0, err
+		return nil, st, err
 	}
 	switch method {
 	case Normal:
 		seed := e.Cfg.Seed ^ (int64(in.I)*1_000_003+int64(in.J))*2_654_435_761
-		return SolveNormal(in, rand.New(rand.NewSource(seed))), 0, 0, nil
+		return SolveNormal(in, rand.New(rand.NewSource(seed))), st, nil
 	case Greedy:
-		return SolveGreedy(in), 0, 0, nil
+		return SolveGreedy(in), st, nil
 	case MarginalGreedy:
-		return SolveMarginalGreedy(in), 0, 0, nil
+		return SolveMarginalGreedy(in), st, nil
 	case GreedyCapped:
-		return e.solveGreedyCapped(in), 0, 0, nil
+		return e.solveGreedyCapped(in), st, nil
 	case DP:
 		a, err := SolveDPContext(ctx, in)
-		return a, 0, 0, err
+		return a, st, err
 	case ILPI:
 		a, sol, err := SolveILPI(in, e.solveOpts(ctx, in, lane, span))
 		if ctxErr := ctx.Err(); ctxErr != nil {
-			return nil, 0, 0, ctxErr
+			return nil, solveStats{}, ctxErr
 		}
-		nodes, pivots := 0, 0
 		if sol != nil {
-			nodes, pivots = sol.Nodes, sol.LPPivots
+			st.nodes, st.pivots = sol.Nodes, sol.LPPivots
 		}
-		return a, nodes, pivots, err
+		return a, st, err
 	case ILPII:
 		var nc *NetCap
 		if e.Cfg.NetCap > 0 {
 			nc = &NetCap{MaxAddedDelay: e.Cfg.NetCap}
 		}
-		a, sol, err := SolveILPII(in, e.solveOpts(ctx, in, lane, span), nc)
+		a, sol, g, err := solveILPIIFull(in, e.solveOpts(ctx, in, lane, span), nc)
 		if ctxErr := ctx.Err(); ctxErr != nil {
-			return nil, 0, 0, ctxErr
+			return nil, solveStats{}, ctxErr
 		}
-		nodes, pivots := 0, 0
 		if sol != nil {
-			nodes, pivots = sol.Nodes, sol.LPPivots
+			st.nodes, st.pivots = sol.Nodes, sol.LPPivots
 		}
-		return a, nodes, pivots, err
+		if g != nil {
+			st.incRepaired, st.incDropped = g.IncumbentRepaired, g.IncumbentDropped
+		}
+		return a, st, err
 	default:
-		return nil, 0, 0, fmt.Errorf("core: unknown method %v", method)
+		return nil, st, fmt.Errorf("core: unknown method %v", method)
 	}
 }
 
@@ -512,9 +571,10 @@ func (e *Engine) solveInstance(ctx context.Context, method Method, in *Instance,
 // the hoisted Cancel closure) and nc the run-wide net cap; both are read-
 // only here. Results are bit-identical to solveInstance.
 func (e *Engine) solveInstancePooled(ctx context.Context, method Method, in *Instance, sc *SolveScratch,
-	base *ilp.Options, nc *NetCap, a Assignment, lane int, span obs.SpanID) (int, int, error) {
+	base *ilp.Options, nc *NetCap, a Assignment, lane int, span obs.SpanID) (solveStats, error) {
+	var st solveStats
 	if err := ctx.Err(); err != nil {
-		return 0, 0, err
+		return st, err
 	}
 	switch method {
 	case Normal:
@@ -524,36 +584,37 @@ func (e *Engine) solveInstancePooled(ctx context.Context, method Method, in *Ins
 		// unpooled per-tile rand.New sequence bit for bit.
 		sc.rng.Seed(seed)
 		sc.slots = solveNormalInto(a, in, sc.rng, sc.slots)
-		return 0, 0, nil
+		return st, nil
 	case Greedy:
 		sc.keys = solveGreedyInto(a, in, sc.keys)
-		return 0, 0, nil
+		return st, nil
 	case MarginalGreedy:
 		solveMarginalGreedyInto(a, in, &sc.mheap)
-		return 0, 0, nil
+		return st, nil
 	case GreedyCapped:
 		e.solveGreedyCappedInto(a, in, sc)
-		return 0, 0, nil
+		return st, nil
 	case DP:
-		return 0, 0, solveDPInto(ctx, a, in, sc)
+		return st, solveDPInto(ctx, a, in, sc)
 	case ILPI:
 		sc.opts = *base
 		e.addProgress(ctx, &sc.opts, in, lane, span)
 		nodes, pivots, err := sc.solveILPI(in, &sc.opts, a)
 		if ctxErr := ctx.Err(); ctxErr != nil {
-			return 0, 0, ctxErr
+			return solveStats{}, ctxErr
 		}
-		return nodes, pivots, err
+		st.nodes, st.pivots = nodes, pivots
+		return st, err
 	case ILPII:
 		sc.opts = *base
 		e.addProgress(ctx, &sc.opts, in, lane, span)
-		nodes, pivots, err := sc.solveILPII(in, &sc.opts, nc, a)
+		st, err := sc.solveILPII(in, &sc.opts, nc, a)
 		if ctxErr := ctx.Err(); ctxErr != nil {
-			return 0, 0, ctxErr
+			return solveStats{}, ctxErr
 		}
-		return nodes, pivots, err
+		return st, err
 	default:
-		return 0, 0, fmt.Errorf("core: unknown method %v", method)
+		return st, fmt.Errorf("core: unknown method %v", method)
 	}
 }
 
@@ -584,15 +645,19 @@ func (e *Engine) RunContext(ctx context.Context, method Method, instances []*Ins
 	defer run.End()
 
 	type outcome struct {
-		a      Assignment
-		nodes  int
-		pivots int
-		dur    time.Duration // this instance's solve time
-		err    error
+		a       Assignment
+		st      solveStats
+		memoHit bool
+		dur     time.Duration // this instance's solve time
+		err     error
 	}
 	outs := make([]outcome, len(instances))
 
 	pooled := !e.Cfg.NoSolvePool
+	memo := e.memo
+	if memo != nil && !memoizable(method, &e.Cfg.ILPOpts) {
+		memo = nil
+	}
 	workers := workerCount(e.Cfg.Workers, len(instances))
 	var scs []*SolveScratch
 	var baseOpts ilp.Options
@@ -622,6 +687,7 @@ func (e *Engine) RunContext(ctx context.Context, method Method, instances []*Ins
 			nc = &NetCap{MaxAddedDelay: e.Cfg.NetCap}
 		}
 	}
+	fc := e.fingerprintConfig(method)
 	solveOne := func(worker, i int) {
 		in := instances[i]
 		lane := 1 + worker
@@ -630,24 +696,58 @@ func (e *Engine) RunContext(ctx context.Context, method Method, instances []*Ins
 		tile.Arg("j", int64(in.J))
 		solveStart := time.Now()
 		solve := tr.Start("solve", "solve", lane, tile.ID())
-		var nodes, pivots int
+		var st solveStats
 		var err error
-		if pooled {
-			nodes, pivots, err = e.solveInstancePooled(ctx, method, in, scs[worker],
-				&baseOpts, nc, outs[i].a, lane, solve.ID())
-		} else {
-			outs[i].a, nodes, pivots, err = e.solveInstance(ctx, method, in, lane, solve.ID())
+		hit := false
+		var key memoKey
+		if memo != nil {
+			// Fingerprint buffers come from the worker's scratch on the
+			// pooled path; the unpooled path allocates per tile (it exists
+			// for benchmarks and equivalence tests, not steady state).
+			var buf []byte
+			var netBuf []int
+			if pooled {
+				buf, netBuf = scs[worker].fpBuf, scs[worker].fpNets
+			}
+			key, buf, netBuf = fingerprintInstance(buf, netBuf, in, fc)
+			if pooled {
+				scs[worker].fpBuf, scs[worker].fpNets = buf, netBuf
+			}
+			if ent := memo.lookup(key); ent != nil {
+				// Replay the cached solve: the assignment bytes and every
+				// deterministic by-product match what a fresh solve of this
+				// pattern produces, so downstream accounting is bit-identical.
+				if pooled {
+					copy(outs[i].a, ent.a)
+				} else {
+					outs[i].a = append([]int(nil), ent.a...)
+				}
+				st = solveStats{nodes: ent.nodes, pivots: ent.pivots,
+					incRepaired: ent.incRepaired, incDropped: ent.incDropped}
+				hit = true
+			}
 		}
-		solve.Arg("nodes", int64(nodes))
-		solve.Arg("pivots", int64(pivots))
+		if !hit {
+			if pooled {
+				st, err = e.solveInstancePooled(ctx, method, in, scs[worker],
+					&baseOpts, nc, outs[i].a, lane, solve.ID())
+			} else {
+				outs[i].a, st, err = e.solveInstance(ctx, method, in, lane, solve.ID())
+			}
+			if memo != nil && err == nil {
+				memo.store(key, outs[i].a, st.nodes, st.pivots, st.incRepaired, st.incDropped)
+			}
+		}
+		solve.Arg("nodes", int64(st.nodes))
+		solve.Arg("pivots", int64(st.pivots))
 		solve.End()
 		dur := time.Since(solveStart)
 		tile.End()
-		outs[i].nodes, outs[i].pivots, outs[i].dur, outs[i].err = nodes, pivots, dur, err
+		outs[i].st, outs[i].memoHit, outs[i].dur, outs[i].err = st, hit, dur, err
 		if lg := e.Cfg.Logger; lg != nil && err == nil &&
 			e.Cfg.SlowTile > 0 && dur >= e.Cfg.SlowTile {
 			lg.Warn("slow tile", "i", in.I, "j", in.J, "method", method.String(),
-				"dur", dur, "nodes", nodes, "pivots", pivots)
+				"dur", dur, "nodes", st.nodes, "pivots", st.pivots)
 		}
 	}
 	if workers > 1 {
@@ -674,8 +774,21 @@ func (e *Engine) RunContext(ctx context.Context, method Method, instances []*Ins
 		if err := ctx.Err(); err != nil {
 			return nil, fmt.Errorf("core: %v run interrupted: %w", method, err)
 		}
-		res.ILPNodes += o.nodes
-		res.LPPivots += o.pivots
+		res.ILPNodes += o.st.nodes
+		res.LPPivots += o.st.pivots
+		if memo != nil {
+			if o.memoHit {
+				res.MemoHits++
+			} else {
+				res.MemoMisses++
+			}
+		}
+		if o.st.incRepaired {
+			res.IncumbentsRepaired++
+		}
+		if o.st.incDropped {
+			res.IncumbentsDropped++
+		}
 		res.Phases.Solve += o.dur
 		if o.dur > res.LongestSolve {
 			res.LongestSolve = o.dur

@@ -12,6 +12,16 @@ import (
 
 var testRule = layout.FillRule{Feature: 300, Gap: 100, Buffer: 150}
 
+// mustInstances builds the engine's instances, failing the test on error.
+func mustInstances(tb testing.TB, eng *Engine, budget density.Budget) []*Instance {
+	tb.Helper()
+	instances, err := eng.Instances(budget)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	return instances
+}
+
 // smallLayout builds a 32x32 um die with a handful of trunk-routed nets.
 func smallLayout(t *testing.T) (*layout.Layout, *layout.Dissection) {
 	t.Helper()
@@ -78,7 +88,7 @@ func buildEngine(t *testing.T, weighted bool, def scanline.Def) (*Engine, densit
 
 func TestEngineEndToEndAllMethods(t *testing.T) {
 	eng, budget := buildEngine(t, false, scanline.DefIII)
-	instances := eng.Instances(budget)
+	instances := mustInstances(t, eng, budget)
 	if len(instances) == 0 {
 		t.Fatal("no instances")
 	}
@@ -130,7 +140,7 @@ func TestEngineEndToEndAllMethods(t *testing.T) {
 
 func TestEngineWeightedObjective(t *testing.T) {
 	eng, budget := buildEngine(t, true, scanline.DefIII)
-	instances := eng.Instances(budget)
+	instances := mustInstances(t, eng, budget)
 	dp, err := eng.Run(DP, instances)
 	if err != nil {
 		t.Fatal(err)
@@ -153,7 +163,7 @@ func TestEngineWeightedObjective(t *testing.T) {
 
 func TestEnginePlacementLandsOnFreeSites(t *testing.T) {
 	eng, budget := buildEngine(t, false, scanline.DefIII)
-	instances := eng.Instances(budget)
+	instances := mustInstances(t, eng, budget)
 	res, err := eng.Run(ILPII, instances)
 	if err != nil {
 		t.Fatal(err)
@@ -185,12 +195,12 @@ func TestEngineDefIComparison(t *testing.T) {
 	// Def I has (weakly) less usable capacity, so it may place fewer
 	// features for the same budget; results must still be valid.
 	engI, budget := buildEngine(t, false, scanline.DefI)
-	resI, err := engI.Run(Greedy, engI.Instances(budget))
+	resI, err := engI.Run(Greedy, mustInstances(t, engI, budget))
 	if err != nil {
 		t.Fatal(err)
 	}
 	engIII, _ := buildEngine(t, false, scanline.DefIII)
-	resIII, err := engIII.Run(Greedy, engIII.Instances(budget))
+	resIII, err := engIII.Run(Greedy, mustInstances(t, engIII, budget))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -211,7 +221,7 @@ func TestEngineGreedyCappedRespectsNetCap(t *testing.T) {
 		t.Fatal(err)
 	}
 	// First find the uncapped per-net worst case.
-	res, err := eng.Run(Greedy, eng.Instances(budget))
+	res, err := eng.Run(Greedy, mustInstances(t, eng, budget))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -226,7 +236,7 @@ func TestEngineGreedyCappedRespectsNetCap(t *testing.T) {
 	}
 	capS := worst / 2
 	eng.Cfg.NetCap = capS
-	capped, err := eng.Run(GreedyCapped, eng.Instances(budget))
+	capped, err := eng.Run(GreedyCapped, mustInstances(t, eng, budget))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -249,14 +259,14 @@ func TestActivityAwareCosting(t *testing.T) {
 	// positive activity the measured impact can only grow, and a column next
 	// to a hot aggressor becomes costlier than the identical quiet case.
 	eng, budget := buildEngine(t, false, scanline.DefIII)
-	base, err := eng.Run(ILPII, eng.Instances(budget))
+	base, err := eng.Run(ILPII, mustInstances(t, eng, budget))
 	if err != nil {
 		t.Fatal(err)
 	}
 
 	quiet := make([]float64, len(eng.L.Nets))
 	eng.Cfg.Activity = quiet
-	same, err := eng.Run(ILPII, eng.Instances(budget))
+	same, err := eng.Run(ILPII, mustInstances(t, eng, budget))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -269,7 +279,7 @@ func TestActivityAwareCosting(t *testing.T) {
 		hot[i] = 1
 	}
 	eng.Cfg.Activity = hot
-	doubled, err := eng.Run(ILPII, eng.Instances(budget))
+	doubled, err := eng.Run(ILPII, mustInstances(t, eng, budget))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -287,7 +297,7 @@ func TestActivityAwareCosting(t *testing.T) {
 
 func TestParallelMatchesSerial(t *testing.T) {
 	eng, budget := buildEngine(t, false, scanline.DefIII)
-	instances := eng.Instances(budget)
+	instances := mustInstances(t, eng, budget)
 	for _, m := range []Method{Normal, Greedy, ILPII} {
 		eng.Cfg.Workers = 0
 		serial, err := eng.Run(m, instances)
@@ -316,12 +326,12 @@ func TestParallelMatchesSerial(t *testing.T) {
 
 func TestGroundedFillHeavierButStillOptimal(t *testing.T) {
 	eng, budget := buildEngine(t, false, scanline.DefIII)
-	floating, err := eng.Run(ILPII, eng.Instances(budget))
+	floating, err := eng.Run(ILPII, mustInstances(t, eng, budget))
 	if err != nil {
 		t.Fatal(err)
 	}
 	eng.Cfg.Grounded = true
-	instances := eng.Instances(budget)
+	instances := mustInstances(t, eng, budget)
 	grounded, err := eng.Run(ILPII, instances)
 	if err != nil {
 		t.Fatal(err)

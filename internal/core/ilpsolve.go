@@ -166,14 +166,23 @@ type ilpiiVars struct {
 // needed to decode its solutions back into an Assignment, and a heuristic
 // incumbent for warm-starting. The incumbent comes from SolveMarginalGreedy
 // — provably optimal for the convex floating-fill cost curves, so the
-// seeded search usually proves optimality at the root — but it ignores any
-// per-net delay-cap rows; the solver validates it and silently drops it
-// when a cap row rejects it.
+// seeded search usually proves optimality at the root. The marginal greedy
+// ignores per-net delay-cap rows, so when caps are active the incumbent is
+// repaired against them (see repairIncumbent) before being handed to the
+// solver; exactly the hardest instances used to lose their warm start here,
+// because the solver validates incumbents and silently ignores ones a cap
+// row rejects. IncumbentRepaired/IncumbentDropped record the outcome.
 type ILPIIProgram struct {
 	P         *ilp.Problem
 	Incumbent []float64
-	vars      []ilpiiVars
-	k         int
+	// IncumbentRepaired reports that the marginal-greedy incumbent violated a
+	// per-net cap row and was repaired into cap feasibility before seeding
+	// the solver. IncumbentDropped reports that no repair could reach the
+	// fill total within the caps, so the search starts cold (Incumbent nil).
+	IncumbentRepaired bool
+	IncumbentDropped  bool
+	vars              []ilpiiVars
+	k                 int
 }
 
 // Decode maps a solution vector of P back to a per-column fill Assignment.
@@ -346,27 +355,158 @@ func buildILPII(in *Instance, netCap *NetCap, sc *SolveScratch) *ILPIIProgram {
 		var h marginalHeap
 		solveMarginalGreedyInto(ainc, in, &h)
 	}
+	if netCap != nil && (netCap.MaxAddedDelay > 0 || netCap.PerNet != nil) {
+		repaired, ok := repairIncumbent(in, netCap, ainc, sc)
+		g.IncumbentRepaired = repaired && ok
+		if !ok {
+			g.IncumbentDropped = true
+			return g
+		}
+	}
 	x := sc.incBuf(nv)
 	g.encodeInto(x, ainc)
 	g.Incumbent = x
 	return g
 }
 
+// repairIncumbent makes a heuristic assignment feasible under the per-net
+// delay caps while keeping Σm = F, so the warm start survives exactly on the
+// capped instances where it matters most. The repair is deterministic (and
+// identical on the pooled and unpooled paths): while any capped net is over
+// budget, the contributing feature with the highest marginal objective cost
+// is removed (lowest column index on ties); the resulting deficit is then
+// refilled one feature at a time into the cheapest column with headroom
+// whose addition keeps every capped net within budget. Returns repaired =
+// true when the assignment was modified and ok = false when the fill total
+// cannot be restored within the caps (the caller then drops the incumbent).
+func repairIncumbent(in *Instance, netCap *NetCap, a Assignment, sc *SolveScratch) (repaired, ok bool) {
+	// Per-net spend under the same raw (un-normalized) delay terms the cap
+	// rows encode: Σ ΔC_k(m_k)·sf·R_l. The solver checks the normalized rows
+	// with a 1e-6·(1+|RHS|) tolerance, so raw feasibility implies acceptance.
+	spend := sc.spentMap()
+	capped := func(net int) bool { return net >= 0 && netCap.budgetFor(net) > 0 }
+	charge := func(k, m int, sign float64) {
+		cv := &in.Columns[k]
+		if m <= 0 || cv.DeltaC == nil {
+			return
+		}
+		dc := cv.DeltaC[m] * sign
+		if capped(cv.NetLow) {
+			spend[cv.NetLow] += dc * cv.REffLow
+		}
+		if capped(cv.NetHigh) {
+			spend[cv.NetHigh] += dc * cv.REffHigh
+		}
+	}
+	for k, m := range a {
+		charge(k, m, 1)
+	}
+	overNet := func() int {
+		worst := -1
+		for k := range in.Columns {
+			cv := &in.Columns[k]
+			for _, net := range [2]int{cv.NetLow, cv.NetHigh} {
+				if capped(net) && spend[net] > netCap.budgetFor(net) &&
+					(worst < 0 || net < worst) {
+					worst = net
+				}
+			}
+		}
+		return worst
+	}
+
+	deficit := 0
+	for {
+		net := overNet()
+		if net < 0 {
+			break
+		}
+		// Remove the feature whose marginal cost is highest among columns
+		// feeding this net; every contributing column's ΔC is strictly
+		// increasing in m, so each removal strictly lowers the net's spend.
+		best := -1
+		bestCost := 0.0
+		for k, m := range a {
+			cv := &in.Columns[k]
+			if m <= 0 || cv.DeltaC == nil || (cv.NetLow != net && cv.NetHigh != net) {
+				continue
+			}
+			mc := cv.costAt(m) - cv.costAt(m-1)
+			if best < 0 || mc > bestCost {
+				best, bestCost = k, mc
+			}
+		}
+		if best < 0 {
+			// Over budget with no removable contributor: the caps are
+			// unsatisfiable for this incumbent shape; give up.
+			return true, false
+		}
+		charge(best, a[best], -1)
+		a[best]--
+		charge(best, a[best], 1)
+		deficit++
+	}
+	if deficit == 0 {
+		return false, true
+	}
+	// Refill the deficit cheapest-marginal-first into columns whose next
+	// feature fits under every capped net (free columns cost 0 and touch no
+	// capped net, so they absorb deficit first).
+	for ; deficit > 0; deficit-- {
+		best := -1
+		bestCost := 0.0
+		for k, m := range a {
+			cv := &in.Columns[k]
+			if m >= cv.MaxM {
+				continue
+			}
+			if cv.DeltaC != nil {
+				dc := cv.DeltaC[m+1] - cv.DeltaC[m]
+				if capped(cv.NetLow) && spend[cv.NetLow]+dc*cv.REffLow > netCap.budgetFor(cv.NetLow) {
+					continue
+				}
+				if capped(cv.NetHigh) && spend[cv.NetHigh]+dc*cv.REffHigh > netCap.budgetFor(cv.NetHigh) {
+					continue
+				}
+			}
+			mc := cv.costAt(m+1) - cv.costAt(m)
+			if best < 0 || mc < bestCost {
+				best, bestCost = k, mc
+			}
+		}
+		if best < 0 {
+			return true, false
+		}
+		charge(best, a[best], -1)
+		a[best]++
+		charge(best, a[best], 1)
+	}
+	return true, true
+}
+
 // SolveILPII is the paper's ILP-II: BuildILPII's program solved to proven
-// optimality, warm-started with the marginal-greedy incumbent.
+// optimality, warm-started with the (cap-repaired) marginal-greedy incumbent.
 func SolveILPII(in *Instance, opts *ilp.Options, netCap *NetCap) (Assignment, *ilp.Solution, error) {
+	a, sol, _, err := solveILPIIFull(in, opts, netCap)
+	return a, sol, err
+}
+
+// solveILPIIFull is SolveILPII also returning the built program, so callers
+// accounting for warm-start repairs (Engine runs) can read
+// IncumbentRepaired/IncumbentDropped; g is nil for trivial instances.
+func solveILPIIFull(in *Instance, opts *ilp.Options, netCap *NetCap) (Assignment, *ilp.Solution, *ILPIIProgram, error) {
 	g := BuildILPII(in, netCap)
 	if g == nil {
-		return make(Assignment, len(in.Columns)), &ilp.Solution{Status: ilp.Optimal}, nil
+		return make(Assignment, len(in.Columns)), &ilp.Solution{Status: ilp.Optimal}, nil, nil
 	}
 	sol, err := ilp.Solve(g.P, withIncumbent(opts, g.Incumbent))
 	if err != nil {
-		return nil, nil, fmt.Errorf("core: ILP-II: %w", err)
+		return nil, nil, g, fmt.Errorf("core: ILP-II: %w", err)
 	}
 	if sol.Status != ilp.Optimal && sol.Status != ilp.Feasible {
-		return nil, sol, fmt.Errorf("core: ILP-II: solver returned %v", sol.Status)
+		return nil, sol, g, fmt.Errorf("core: ILP-II: solver returned %v", sol.Status)
 	}
-	return g.Decode(sol.X), sol, nil
+	return g.Decode(sol.X), sol, g, nil
 }
 
 // solveILPI solves ILP-I on the scratch's searcher, writing the assignment
@@ -396,21 +536,24 @@ func (sc *SolveScratch) solveILPI(in *Instance, opts *ilp.Options, a Assignment)
 }
 
 // solveILPII solves ILP-II on the scratch's searcher, writing the assignment
-// into a (zeroed, length == columns). Error messages and node/pivot
-// accounting match SolveILPII exactly.
-func (sc *SolveScratch) solveILPII(in *Instance, opts *ilp.Options, netCap *NetCap, a Assignment) (nodes, pivots int, err error) {
+// into a (zeroed, length == columns). Error messages, node/pivot and
+// incumbent-repair accounting match SolveILPII/solveILPIIFull exactly.
+func (sc *SolveScratch) solveILPII(in *Instance, opts *ilp.Options, netCap *NetCap, a Assignment) (st solveStats, err error) {
 	g := buildILPII(in, netCap, sc)
 	if g == nil {
-		return 0, 0, nil
+		return st, nil
 	}
+	st.incRepaired = g.IncumbentRepaired
+	st.incDropped = g.IncumbentDropped
 	opts.Incumbent = g.Incumbent
 	sol, err := sc.searcher.Solve(g.P, opts)
 	if err != nil {
-		return 0, 0, fmt.Errorf("core: ILP-II: %w", err)
+		return solveStats{}, fmt.Errorf("core: ILP-II: %w", err)
 	}
+	st.nodes, st.pivots = sol.Nodes, sol.LPPivots
 	if sol.Status != ilp.Optimal && sol.Status != ilp.Feasible {
-		return sol.Nodes, sol.LPPivots, fmt.Errorf("core: ILP-II: solver returned %v", sol.Status)
+		return st, fmt.Errorf("core: ILP-II: solver returned %v", sol.Status)
 	}
 	g.decodeInto(a, sol.X)
-	return sol.Nodes, sol.LPPivots, nil
+	return st, nil
 }

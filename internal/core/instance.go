@@ -161,7 +161,7 @@ func (in *Instance) Evaluate(a Assignment) (unweighted, weighted float64, err er
 // is therefore r̂ = Σ_{bounding lines} W_l·sf_l·R_l(x) (Fig 8, line 11),
 // with W_l = 1 in the non-weighted variant and sf_l the switch factor
 // 1 + activity(opposite line's net) when crosstalk-aware costing is on.
-func (e *Engine) buildInstance(i, j int, want int) *Instance {
+func (e *Engine) buildInstance(i, j int, want int) (*Instance, error) {
 	tc := &e.Tiles[i][j]
 	analyses := e.Analyses
 	proc := e.Cfg.Proc
@@ -191,9 +191,14 @@ func (e *Engine) buildInstance(i, j int, want int) *Instance {
 				tbl = proc.BuildTable(rule.Feature, d, col.Capacity)
 			}
 			if tbl.MaxM() < cv.MaxM {
-				// Geometry guarantees capacity*pitch <= gap, so this would
-				// indicate an extraction bug; clamp defensively.
-				cv.MaxM = tbl.MaxM()
+				// Geometry guarantees capacity*pitch <= gap, so a shorter
+				// table means the extraction and the capacitance model
+				// disagree about this column. Silently clamping here would
+				// under-fill the tile and skew every density and delay
+				// figure downstream — surface the inconsistency instead.
+				return nil, fmt.Errorf(
+					"core: tile (%d,%d) column %d at x=%d: capacitance table covers %d features but extraction found capacity %d (spacing %d)",
+					i, j, k, col.X, tbl.MaxM(), cv.MaxM, d)
 			}
 			aggLow, aggHigh := -1, -1
 			if col.HasHigh {
@@ -250,5 +255,5 @@ func (e *Engine) buildInstance(i, j int, want int) *Instance {
 		want = 0
 	}
 	in.F = want
-	return in
+	return in, nil
 }

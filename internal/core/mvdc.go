@@ -126,7 +126,10 @@ func (e *Engine) RunMVDCContext(ctx context.Context, grid *density.Grid, tileDel
 			if len(tc.Cols) == 0 {
 				continue
 			}
-			in := e.buildInstance(i, j, tc.TotalCapacity())
+			in, err := e.buildInstance(i, j, tc.TotalCapacity())
+			if err != nil {
+				return nil, err
+			}
 			fr := Frontier(in)
 			frontiers[[2]int{i, j}] = fr
 			capped[i][j] = fr.MaxFill(tileDelayBudget)
@@ -279,10 +282,18 @@ func (e *Engine) RunBudgetedContext(ctx context.Context, instances []*Instance, 
 			return nil, fmt.Errorf("core: budgeted run interrupted: %w", err)
 		}
 		solveStart := time.Now()
-		a, sol, err := SolveILPII(in, e.ilpOpts(ctx), &NetCap{PerNet: perTile})
+		a, sol, g, err := solveILPIIFull(in, e.ilpOpts(ctx), &NetCap{PerNet: perTile})
 		if sol != nil {
 			res.ILPNodes += sol.Nodes
 			res.LPPivots += sol.LPPivots
+		}
+		if g != nil {
+			if g.IncumbentRepaired {
+				res.IncumbentsRepaired++
+			}
+			if g.IncumbentDropped {
+				res.IncumbentsDropped++
+			}
 		}
 		if ctxErr := ctx.Err(); ctxErr != nil {
 			return nil, fmt.Errorf("core: budgeted run interrupted: %w", ctxErr)

@@ -175,7 +175,7 @@ func TestNetBudgets(t *testing.T) {
 
 func TestRunBudgeted(t *testing.T) {
 	eng, budget := buildEngine(t, false, scanline.DefIII)
-	instances := eng.Instances(budget)
+	instances := mustInstances(t, eng, budget)
 
 	// Unconstrained reference.
 	free, err := eng.Run(ILPII, instances)

@@ -48,7 +48,7 @@ func requireResultsIdentical(t *testing.T, label string, got, want *Result) {
 func TestPooledMatchesUnpooled(t *testing.T) {
 	eng, budget := buildEngine(t, false, scanline.DefIII)
 	eng.Cfg.NetCap = 1e-13 // give GreedyCapped a binding cap to exercise
-	instances := eng.Instances(budget)
+	instances := mustInstances(t, eng, budget)
 	if len(instances) == 0 {
 		t.Fatal("no instances")
 	}
@@ -83,7 +83,7 @@ func TestPooledMatchesUnpooled(t *testing.T) {
 // tile-solve beyond the fill features themselves.
 func TestWarmRunAllocs(t *testing.T) {
 	eng, budget := buildEngine(t, false, scanline.DefIII)
-	instances := eng.Instances(budget)
+	instances := mustInstances(t, eng, budget)
 	for _, m := range allMethods {
 		if m == GreedyCapped {
 			continue // identical machinery to Greedy when NetCap is 0
@@ -114,7 +114,7 @@ func TestWarmRunAllocs(t *testing.T) {
 // still bit-identical to a serial reference.
 func TestConcurrentRunsSharePool(t *testing.T) {
 	eng, budget := buildEngine(t, false, scanline.DefIII)
-	instances := eng.Instances(budget)
+	instances := mustInstances(t, eng, budget)
 	eng.Cfg.Workers = 2
 	ref, err := eng.Run(ILPII, instances)
 	if err != nil {

@@ -1,0 +1,152 @@
+package core
+
+import (
+	"testing"
+
+	"pilfill/internal/ilp"
+	"pilfill/internal/scanline"
+)
+
+// repairInstance is a hand-built tile where the marginal-greedy incumbent
+// must violate a per-net delay cap: column 0 is the cheapest in objective
+// cost but spends heavily against net 0, column 1 is pricier but unbounded.
+func repairInstance() *Instance {
+	mkCol := func(maxM, net int, costPer, dcPer float64) ColumnVar {
+		n := maxM + 1
+		cost := make([]float64, n)
+		dc := make([]float64, n)
+		for m := 1; m < n; m++ {
+			cost[m] = costPer * float64(m)
+			dc[m] = dcPer * float64(m)
+		}
+		return ColumnVar{
+			MaxM: maxM, CostExact: cost, DeltaC: dc,
+			NetLow: net, NetHigh: -1, REffLow: 1, RLow: 1, LinearSlope: costPer,
+		}
+	}
+	return &Instance{F: 4, Columns: []ColumnVar{
+		mkCol(4, 0, 1e-16, 1e-15), // cheap, capped net
+		mkCol(4, 1, 1e-15, 1e-15), // 10x cost, uncapped net
+	}}
+}
+
+func TestRepairIncumbentRestoresFeasibility(t *testing.T) {
+	in := repairInstance()
+	// Net 0 may absorb 2e-15 s: greedy's all-four-in-column-0 spends 4e-15.
+	nc := &NetCap{PerNet: []float64{2e-15, 1}}
+	g := BuildILPII(in, nc)
+	if g == nil {
+		t.Fatal("trivial program")
+	}
+	if !g.IncumbentRepaired || g.IncumbentDropped {
+		t.Fatalf("repaired=%v dropped=%v, want repaired", g.IncumbentRepaired, g.IncumbentDropped)
+	}
+	if g.Incumbent == nil {
+		t.Fatal("repaired incumbent not encoded")
+	}
+	a := g.Decode(g.Incumbent)
+	if err := in.Valid(a); err != nil {
+		t.Fatalf("repaired incumbent invalid: %v", err)
+	}
+	// Exactly the expected repair: two features pushed off the capped net.
+	if a[0] != 2 || a[1] != 2 {
+		t.Errorf("repaired assignment %v, want [2 2]", a)
+	}
+
+	// The repaired incumbent must survive the solver's own validation: a
+	// warm-started search proves optimality without branching on an instance
+	// this small, and its answer respects the cap.
+	sol, err := ilp.Solve(g.P, &ilp.Options{Incumbent: g.Incumbent})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sol.Status != ilp.Optimal {
+		t.Fatalf("status %v", sol.Status)
+	}
+	best := g.Decode(sol.X)
+	if err := in.Valid(best); err != nil {
+		t.Fatal(err)
+	}
+	spend := float64(best[0]) * 1e-15
+	if spend > 2e-15+1e-21 {
+		t.Errorf("solution spends %g on capped net", spend)
+	}
+}
+
+func TestRepairIncumbentDropsWhenUnsatisfiable(t *testing.T) {
+	in := repairInstance()
+	in.Columns = in.Columns[:1] // only the capped column remains
+	in.F = 2
+	nc := &NetCap{PerNet: []float64{1e-18}}
+	g := BuildILPII(in, nc)
+	if g == nil {
+		t.Fatal("trivial program")
+	}
+	if !g.IncumbentDropped {
+		t.Error("unsatisfiable caps did not drop the incumbent")
+	}
+	if g.Incumbent != nil {
+		t.Error("dropped incumbent still encoded")
+	}
+}
+
+func TestRepairIncumbentNoChangeWhenFeasible(t *testing.T) {
+	in := repairInstance()
+	nc := &NetCap{PerNet: []float64{1, 1}} // generous: greedy already fits
+	g := BuildILPII(in, nc)
+	if g == nil {
+		t.Fatal("trivial program")
+	}
+	if g.IncumbentRepaired || g.IncumbentDropped {
+		t.Errorf("repaired=%v dropped=%v on a feasible incumbent", g.IncumbentRepaired, g.IncumbentDropped)
+	}
+	if g.Incumbent == nil {
+		t.Error("feasible incumbent not encoded")
+	}
+}
+
+func TestRunCountsRepairedIncumbents(t *testing.T) {
+	// End to end through the engine: run translated copies of the
+	// cap-violating pattern, so every tile's incumbent needs a repair. The
+	// counters must show up in the Result and replay identically from the
+	// memo on a warm run (the copies dedup to one solve).
+	l, d := smallLayout(t)
+	memo := NewSolveMemo()
+	eng, err := NewEngine(l, d, testRule, Config{Layer: 0, Seed: 42, NetCap: 2e-15, Memo: memo})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const tiles = 3
+	var instances []*Instance
+	for i := 0; i < tiles; i++ {
+		in := repairInstance()
+		in.I = i
+		for k := range in.Columns {
+			in.Columns[k].Col = &scanline.Column{Col: k}
+			in.Columns[k].FreeRows = []int{0, 1, 2, 3}
+		}
+		instances = append(instances, in)
+	}
+	cold, err := eng.Run(ILPII, instances)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cold.IncumbentsRepaired != tiles {
+		t.Errorf("cold run repaired %d incumbents, want %d", cold.IncumbentsRepaired, tiles)
+	}
+	if cold.MemoMisses != 1 || cold.MemoHits != tiles-1 {
+		t.Errorf("cold run: %d misses %d hits, want 1 miss (pattern copies dedup)", cold.MemoMisses, cold.MemoHits)
+	}
+	warm, err := eng.Run(ILPII, instances)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if warm.MemoHits != tiles {
+		t.Errorf("warm run: %d hits over %d tiles", warm.MemoHits, tiles)
+	}
+	if warm.IncumbentsRepaired != cold.IncumbentsRepaired || warm.IncumbentsDropped != cold.IncumbentsDropped {
+		t.Errorf("memo replay changed repair counters: %d/%d vs %d/%d",
+			cold.IncumbentsRepaired, cold.IncumbentsDropped, warm.IncumbentsRepaired, warm.IncumbentsDropped)
+	}
+	resultsIdentical(t, cold, warm, "capped-memo")
+}

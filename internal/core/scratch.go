@@ -52,6 +52,11 @@ type SolveScratch struct {
 	dpA, dpB    []float64
 	choiceArena []int32
 	choiceRows  [][]int32
+
+	// Solve-memo fingerprint buffers (serialization bytes and the canonical
+	// net-ranking scratch), reused across the worker's tiles.
+	fpBuf  []byte
+	fpNets []int
 }
 
 // NewSolveScratch returns an empty scratch; buffers grow on first use.

@@ -208,16 +208,36 @@ func MonteCarlo(g *Grid, opts MonteCarloOptions) (Budget, float64, error) {
 		slack[i] = append([]int(nil), g.TileSlack[i]...)
 	}
 
-	// Window densities, updated incrementally.
-	dens := make([][]float64, wx)
-	winArea := make([][]float64, wx)
+	// Window state in exact integers: the drawn base area and the number of
+	// fill features added so far. Densities are derived on demand as
+	// (base + count·featureArea)/windowArea — one division from exact
+	// integers — instead of incrementally accumulating float deltas, whose
+	// rounding drift compounds over millions of insertions until the budgeter
+	// both overshoots MaxDensity and mis-ranks the emptiest window.
+	winBase := make([][]int64, wx)
+	winCnt := make([][]int64, wx)
+	winArea := make([][]int64, wx)
 	for i := 0; i < wx; i++ {
-		dens[i] = make([]float64, wy)
-		winArea[i] = make([]float64, wy)
+		winBase[i] = make([]int64, wy)
+		winCnt[i] = make([]int64, wy)
+		winArea[i] = make([]int64, wy)
 		for j := 0; j < wy; j++ {
-			dens[i][j] = g.WindowDensity(i, j, nil)
-			winArea[i][j] = float64(g.D.WindowRect(i, j).Area())
+			var base int64
+			for di := 0; di < g.D.R; di++ {
+				for dj := 0; dj < g.D.R; dj++ {
+					ti, tj := i+di, j+dj
+					if ti >= g.D.NX || tj >= g.D.NY {
+						continue
+					}
+					base += g.TileArea[ti][tj]
+				}
+			}
+			winBase[i][j] = base
+			winArea[i][j] = g.D.WindowRect(i, j).Area()
 		}
+	}
+	density := func(wi, wj int) float64 {
+		return float64(winBase[wi][wj]+winCnt[wi][wj]*g.FeatureArea) / float64(winArea[wi][wj])
 	}
 	// windowsOver iterates window origins covering tile (ti, tj).
 	windowsOver := func(ti, tj int, visit func(wi, wj int)) {
@@ -246,8 +266,8 @@ func MonteCarlo(g *Grid, opts MonteCarloOptions) (Budget, float64, error) {
 				if dead[[2]int{i, j}] {
 					continue
 				}
-				if dens[i][j] < minD {
-					minD = dens[i][j]
+				if d := density(i, j); d < minD {
+					minD = d
 					minI, minJ = i, j
 				}
 			}
@@ -272,7 +292,8 @@ func MonteCarlo(g *Grid, opts MonteCarloOptions) (Budget, float64, error) {
 				ok := true
 				if opts.MaxDensity > 0 {
 					windowsOver(ti, tj, func(wi, wj int) {
-						if dens[wi][wj]+float64(g.FeatureArea)/winArea[wi][wj] > opts.MaxDensity {
+						after := winBase[wi][wj] + (winCnt[wi][wj]+1)*g.FeatureArea
+						if float64(after)/float64(winArea[wi][wj]) > opts.MaxDensity {
 							ok = false
 						}
 					})
@@ -299,15 +320,15 @@ func MonteCarlo(g *Grid, opts MonteCarloOptions) (Budget, float64, error) {
 		budget[chosen.ti][chosen.tj]++
 		slack[chosen.ti][chosen.tj]--
 		windowsOver(chosen.ti, chosen.tj, func(wi, wj int) {
-			dens[wi][wj] += float64(g.FeatureArea) / winArea[wi][wj]
+			winCnt[wi][wj]++
 		})
 	}
 
 	achieved := math.Inf(1)
 	for i := 0; i < wx; i++ {
 		for j := 0; j < wy; j++ {
-			if dens[i][j] < achieved {
-				achieved = dens[i][j]
+			if d := density(i, j); d < achieved {
+				achieved = d
 			}
 		}
 	}

@@ -151,6 +151,38 @@ func TestMonteCarloDeterministicPerSeed(t *testing.T) {
 	}
 }
 
+func TestMonteCarloExactAccounting(t *testing.T) {
+	// Regression: the budgeter used to accumulate fa/winArea float deltas into
+	// each window density on every insertion. Over tens of thousands of
+	// insertions the rounding drift compounded, so the reported achieved
+	// minimum disagreed with the exactly recomputed one and windows could
+	// creep past MaxDensity. With integer accounting both figures come from
+	// the same exact (base + count·featureArea)/windowArea quotient, so they
+	// must agree bit for bit.
+	tile := int64(8000)
+	g := testGrid(t, 12, 12, 3, tile,
+		func(i, j int) int64 { return tile * tile / int64(3+(i*7+j*13)%5) },
+		func(i, j int) int { return 4000 })
+	const maxD = 0.34
+	budget, achieved, err := MonteCarlo(g, MonteCarloOptions{TargetMin: 0.32, MaxDensity: maxD, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if budget.Total() < 10000 {
+		t.Fatalf("budget total %d: too few insertions to exercise drift", budget.Total())
+	}
+	if err := g.CheckBudget(budget); err != nil {
+		t.Fatal(err)
+	}
+	minD, maxGot := g.Stats(budget)
+	if achieved != minD {
+		t.Errorf("achieved %v != recomputed min %v (diff %g)", achieved, minD, achieved-minD)
+	}
+	if maxGot > maxD {
+		t.Errorf("max window density %v exceeds bound %v", maxGot, maxD)
+	}
+}
+
 func TestMonteCarloBadTarget(t *testing.T) {
 	g := testGrid(t, 4, 4, 2, 2000,
 		func(i, j int) int64 { return 0 }, func(i, j int) int { return 1 })

@@ -1,0 +1,307 @@
+package density
+
+import (
+	"fmt"
+	"math"
+)
+
+// Effective density generalizes the paper's flat window density: instead of
+// every tile in an R×R window counting equally, a spatial kernel weights
+// tiles by their distance from the window center, modelling the local
+// character of CMP planarization (deposition pressure falls off with
+// distance, so nearby layout density matters more than the window average).
+// The elliptic and Gaussian kernels follow the effective-density models of
+// the CMP fill literature; the flat kernel recovers the paper's rule exactly.
+//
+// EffectiveDensities evaluates the model for every window with one FFT
+// correlation — O(n log n) over n tiles, against O(n·r²) direct — and
+// EffectiveDensitiesBrute is the exact direct reference the property tests
+// hold the FFT path to (≤ 1e-9 relative). FFTBudget turns the model into a
+// budgeter: bounded correction rounds, each lifting the deficient windows'
+// effective density by spreading features through the adjoint (convolution)
+// of the same kernel.
+
+// KernelKind selects the spatial weighting of the effective-density model.
+type KernelKind int
+
+const (
+	// FlatKernel weights every tile of the window equally — the paper's
+	// plain window density.
+	FlatKernel KernelKind = iota
+	// EllipticKernel decays quadratically from the window center,
+	// w ∝ max(0, 1 - (d/a)²) with a the half-window radius.
+	EllipticKernel
+	// GaussianKernel decays as exp(-d²/2σ²) with σ = a/2.
+	GaussianKernel
+)
+
+// String names the kernel for reports.
+func (k KernelKind) String() string {
+	switch k {
+	case FlatKernel:
+		return "flat"
+	case EllipticKernel:
+		return "elliptic"
+	case GaussianKernel:
+		return "gaussian"
+	}
+	return fmt.Sprintf("KernelKind(%d)", int(k))
+}
+
+// Kernel is an R×R nonnegative weight matrix over window tile offsets,
+// normalized to sum to 1 so effective densities are convex combinations of
+// tile densities (hence never exceed the densest tile).
+type Kernel struct {
+	R int
+	W [][]float64 // W[di][dj], di/dj in [0, R)
+}
+
+// NewKernel builds the weight matrix for a kind and window size. Distances
+// are measured between tile centers and the window center in tile units.
+func NewKernel(kind KernelKind, r int) Kernel {
+	if r <= 0 {
+		panic(fmt.Sprintf("density: kernel r = %d", r))
+	}
+	k := Kernel{R: r, W: make([][]float64, r)}
+	a := float64(r) / 2 // half-window radius
+	sum := 0.0
+	for di := 0; di < r; di++ {
+		k.W[di] = make([]float64, r)
+		for dj := 0; dj < r; dj++ {
+			du := float64(di) + 0.5 - a
+			dv := float64(dj) + 0.5 - a
+			d2 := du*du + dv*dv
+			var w float64
+			switch kind {
+			case FlatKernel:
+				w = 1
+			case EllipticKernel:
+				w = 1 - d2/(a*a)
+				if w < 0 {
+					w = 0
+				}
+			case GaussianKernel:
+				sigma := a / 2
+				w = math.Exp(-d2 / (2 * sigma * sigma))
+			default:
+				panic(fmt.Sprintf("density: unknown kernel kind %d", int(kind)))
+			}
+			k.W[di][dj] = w
+			sum += w
+		}
+	}
+	for di := 0; di < r; di++ {
+		for dj := 0; dj < r; dj++ {
+			k.W[di][dj] /= sum
+		}
+	}
+	return k
+}
+
+// tileDensity returns tile (i, j)'s density under an optional fill budget:
+// (drawn area + fill features · feature area) / geometric tile area.
+func (g *Grid) tileDensity(i, j int, fill Budget) float64 {
+	area := g.TileArea[i][j]
+	if fill != nil {
+		area += int64(fill[i][j]) * g.FeatureArea
+	}
+	return float64(area) / float64(g.D.TileRect(i, j).Area())
+}
+
+// EffectiveDensities returns the kernel-weighted density of every window
+// (indexed by origin tile, dimensions NumWindows) under an optional fill
+// budget, computed with one FFT correlation. Must match
+// EffectiveDensitiesBrute to ≤ 1e-9 relative.
+func EffectiveDensities(g *Grid, k Kernel, fill Budget) ([][]float64, error) {
+	if k.R != g.D.R {
+		return nil, fmt.Errorf("density: kernel r = %d, dissection r = %d", k.R, g.D.R)
+	}
+	wx, wy := g.D.NumWindows()
+	px, py := nextPow2(g.D.NX), nextPow2(g.D.NY)
+
+	rho := newCGrid(px, py)
+	for i := 0; i < g.D.NX; i++ {
+		for j := 0; j < g.D.NY; j++ {
+			rho.set(i, j, complex(g.tileDensity(i, j, fill), 0))
+		}
+	}
+	ker := newCGrid(px, py)
+	for di := 0; di < k.R; di++ {
+		for dj := 0; dj < k.R; dj++ {
+			ker.set(di, dj, complex(k.W[di][dj], 0))
+		}
+	}
+	rho.fft2(false)
+	ker.fft2(false)
+	correlate2(rho, ker) // rho[w] = Σ_o k[o]·ρ[w+o]
+
+	eff := make([][]float64, wx)
+	for i := 0; i < wx; i++ {
+		eff[i] = make([]float64, wy)
+		for j := 0; j < wy; j++ {
+			eff[i][j] = real(rho.at(i, j))
+		}
+	}
+	return eff, nil
+}
+
+// EffectiveDensitiesBrute is the direct O(n·r²) reference implementation of
+// EffectiveDensities.
+func EffectiveDensitiesBrute(g *Grid, k Kernel, fill Budget) ([][]float64, error) {
+	if k.R != g.D.R {
+		return nil, fmt.Errorf("density: kernel r = %d, dissection r = %d", k.R, g.D.R)
+	}
+	wx, wy := g.D.NumWindows()
+	eff := make([][]float64, wx)
+	for i := 0; i < wx; i++ {
+		eff[i] = make([]float64, wy)
+		for j := 0; j < wy; j++ {
+			s := 0.0
+			for di := 0; di < k.R; di++ {
+				for dj := 0; dj < k.R; dj++ {
+					s += k.W[di][dj] * g.tileDensity(i+di, j+dj, fill)
+				}
+			}
+			eff[i][j] = s
+		}
+	}
+	return eff, nil
+}
+
+// FFTBudgetOptions tunes the effective-density budgeter.
+type FFTBudgetOptions struct {
+	// TargetMin is the effective density every window should reach.
+	TargetMin float64
+	// MaxDensity bounds every tile's own density (drawn + fill). Because the
+	// kernel is a convex combination, this also bounds every window's
+	// effective density by the same value. <= 0 disables the bound.
+	MaxDensity float64
+	// MaxRounds bounds the correction rounds; 0 means DefaultFFTRounds.
+	MaxRounds int
+}
+
+// DefaultFFTRounds bounds FFTBudget's correction loop. Each round solves the
+// uniform-deficit case exactly and contracts the rest geometrically, so the
+// budget is slack- or bound-limited long before this many rounds.
+const DefaultFFTRounds = 64
+
+// FFTBudget computes a per-tile fill budget lifting every window's effective
+// density toward TargetMin. Each round evaluates the model with one FFT
+// correlation, spreads the per-window deficits back onto tiles with the
+// adjoint (convolution) of the same kernel — normalized by each tile's total
+// kernel coverage, so a uniform deficit is erased in a single round — and
+// converts the per-tile density increments to whole features, clamped to
+// slack and MaxDensity. It stops when no window is deficient, no feature can
+// be added, or MaxRounds is exhausted, and returns the budget with the
+// achieved minimum effective density.
+func FFTBudget(g *Grid, k Kernel, opts FFTBudgetOptions) (Budget, float64, error) {
+	if opts.TargetMin <= 0 {
+		return nil, 0, fmt.Errorf("density: TargetMin = %g", opts.TargetMin)
+	}
+	if k.R != g.D.R {
+		return nil, 0, fmt.Errorf("density: kernel r = %d, dissection r = %d", k.R, g.D.R)
+	}
+	wx, wy := g.D.NumWindows()
+	nx, ny := g.D.NX, g.D.NY
+	px, py := nextPow2(nx), nextPow2(ny)
+	budget := g.NewBudget()
+
+	// cover[t] = Σ_{windows w covering t} k[t-w]: the adjoint of the all-ones
+	// deficit field, the per-tile normalizer. Interior tiles have cover 1
+	// (every kernel weight counted once); edge tiles less.
+	cover := make([][]float64, nx)
+	for i := 0; i < nx; i++ {
+		cover[i] = make([]float64, ny)
+		for j := 0; j < ny; j++ {
+			for di := 0; di < k.R; di++ {
+				for dj := 0; dj < k.R; dj++ {
+					wi, wj := i-di, j-dj
+					if wi >= 0 && wi < wx && wj >= 0 && wj < wy {
+						cover[i][j] += k.W[di][dj]
+					}
+				}
+			}
+		}
+	}
+
+	ker := newCGrid(px, py)
+	for di := 0; di < k.R; di++ {
+		for dj := 0; dj < k.R; dj++ {
+			ker.set(di, dj, complex(k.W[di][dj], 0))
+		}
+	}
+	ker.fft2(false)
+
+	maxRounds := opts.MaxRounds
+	if maxRounds <= 0 {
+		maxRounds = DefaultFFTRounds
+	}
+	for round := 0; round < maxRounds; round++ {
+		eff, err := EffectiveDensities(g, k, budget)
+		if err != nil {
+			return nil, 0, err
+		}
+		// Per-window deficits, padded for the adjoint convolution.
+		deficit := newCGrid(px, py)
+		anyDeficit := false
+		for i := 0; i < wx; i++ {
+			for j := 0; j < wy; j++ {
+				if d := opts.TargetMin - eff[i][j]; d > 0 {
+					deficit.set(i, j, complex(d, 0))
+					anyDeficit = true
+				}
+			}
+		}
+		if !anyDeficit {
+			break
+		}
+		deficit.fft2(false)
+		convolve2(deficit, ker) // deficit[t] = Σ_w k[t-w]·deficit[w]
+
+		added := 0
+		for i := 0; i < nx; i++ {
+			for j := 0; j < ny; j++ {
+				need := real(deficit.at(i, j))
+				if need <= 1e-15 || cover[i][j] == 0 {
+					continue
+				}
+				tileArea := g.D.TileRect(i, j).Area()
+				// Density increment → whole features, rounded up so tiny
+				// residual deficits still make progress.
+				n := int(math.Ceil(need / cover[i][j] * float64(tileArea) / float64(g.FeatureArea)))
+				if slackLeft := g.TileSlack[i][j] - budget[i][j]; n > slackLeft {
+					n = slackLeft
+				}
+				if opts.MaxDensity > 0 {
+					// Largest count keeping this tile's own density ≤ bound.
+					maxArea := int64(opts.MaxDensity * float64(tileArea))
+					room := maxArea - g.TileArea[i][j] - int64(budget[i][j])*g.FeatureArea
+					if lim := int(room / g.FeatureArea); n > lim {
+						n = lim
+					}
+				}
+				if n > 0 {
+					budget[i][j] += n
+					added += n
+				}
+			}
+		}
+		if added == 0 {
+			break // every deficient window is slack- or bound-limited
+		}
+	}
+
+	eff, err := EffectiveDensities(g, k, budget)
+	if err != nil {
+		return nil, 0, err
+	}
+	achieved := math.Inf(1)
+	for i := 0; i < wx; i++ {
+		for j := 0; j < wy; j++ {
+			if eff[i][j] < achieved {
+				achieved = eff[i][j]
+			}
+		}
+	}
+	return budget, achieved, nil
+}

@@ -1,0 +1,118 @@
+package density
+
+import "math"
+
+// A 2D correlation over the tile grid is the workhorse of the effective
+// density model (see effective.go): every window's weighted density is the
+// kernel correlated with the per-tile density field. Computed directly that
+// is O(tiles·r²); here it is O(tiles·log tiles) via the convolution theorem
+// with a radix-2 complex FFT — the standard trick of the FFT-based density
+// analysis literature. Sizes are zero-padded to the next power of two; since
+// the correlation only ever reads indices up to NX-1, padding to ≥ NX already
+// rules out circular wraparound and no extra guard band is needed.
+
+// nextPow2 returns the smallest power of two ≥ n (and ≥ 1).
+func nextPow2(n int) int {
+	p := 1
+	for p < n {
+		p <<= 1
+	}
+	return p
+}
+
+// fft transforms a in place (length must be a power of two); inverse applies
+// the 1/n scaling so fft(fft(a), inverse) round-trips.
+func fft(a []complex128, inverse bool) {
+	n := len(a)
+	if n <= 1 {
+		return
+	}
+	// Bit-reversal permutation.
+	for i, j := 1, 0; i < n; i++ {
+		bit := n >> 1
+		for ; j&bit != 0; bit >>= 1 {
+			j ^= bit
+		}
+		j |= bit
+		if i < j {
+			a[i], a[j] = a[j], a[i]
+		}
+	}
+	for length := 2; length <= n; length <<= 1 {
+		ang := 2 * math.Pi / float64(length)
+		if !inverse {
+			ang = -ang
+		}
+		wl := complex(math.Cos(ang), math.Sin(ang))
+		for i := 0; i < n; i += length {
+			w := complex(1, 0)
+			half := length / 2
+			for j := 0; j < half; j++ {
+				u := a[i+j]
+				v := a[i+j+half] * w
+				a[i+j] = u + v
+				a[i+j+half] = u - v
+				w *= wl
+			}
+		}
+	}
+	if inverse {
+		inv := complex(1/float64(n), 0)
+		for i := range a {
+			a[i] *= inv
+		}
+	}
+}
+
+// cgrid is a row-major px × py complex grid (x is the slow index, matching
+// the [i][j] tile indexing everywhere else in the package).
+type cgrid struct {
+	px, py int
+	a      []complex128
+}
+
+func newCGrid(px, py int) *cgrid {
+	return &cgrid{px: px, py: py, a: make([]complex128, px*py)}
+}
+
+func (g *cgrid) at(i, j int) complex128     { return g.a[i*g.py+j] }
+func (g *cgrid) set(i, j int, v complex128) { g.a[i*g.py+j] = v }
+
+// fft2 transforms the grid in place: rows (contiguous) first, then columns
+// through a scratch buffer.
+func (g *cgrid) fft2(inverse bool) {
+	for i := 0; i < g.px; i++ {
+		fft(g.a[i*g.py:(i+1)*g.py], inverse)
+	}
+	col := make([]complex128, g.px)
+	for j := 0; j < g.py; j++ {
+		for i := 0; i < g.px; i++ {
+			col[i] = g.a[i*g.py+j]
+		}
+		fft(col, inverse)
+		for i := 0; i < g.px; i++ {
+			g.a[i*g.py+j] = col[i]
+		}
+	}
+}
+
+// correlate2 returns IFFT2(X̂ ∘ conj(Ŷ)) of two equally-sized transformed
+// grids — the circular cross-correlation c[s] = Σ_t x[t+s]·y[t] for real
+// inputs. The result overwrites x.
+func correlate2(x, y *cgrid) {
+	for i := range x.a {
+		xa := x.a[i]
+		ya := y.a[i]
+		x.a[i] = xa * complex(real(ya), -imag(ya))
+	}
+	x.fft2(true)
+}
+
+// convolve2 returns IFFT2(X̂ ∘ Ŷ) — the circular convolution
+// c[s] = Σ_t x[t]·y[s-t], the adjoint of correlate2. The result overwrites x.
+func convolve2(x, y *cgrid) {
+	for i := range x.a {
+		x.a[i] *= y.a[i]
+	}
+	x.fft2(true)
+}

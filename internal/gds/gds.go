@@ -121,11 +121,18 @@ func gdsString(s string) []byte {
 	return b
 }
 
-// real8 encodes an excess-64, base-16 GDSII floating point number.
-func real8(f float64) []byte {
+// real8 encodes an excess-64, base-16 GDSII floating point number. Values
+// outside the format's range (roughly 16^±63), NaN and infinities are errors:
+// saturating them silently would write a units record wildly different from
+// what the caller asked for, corrupting every coordinate in the stream for
+// any reader that honors UNITS.
+func real8(f float64) ([]byte, error) {
 	out := make([]byte, 8)
 	if f == 0 {
-		return out
+		return out, nil
+	}
+	if math.IsNaN(f) || math.IsInf(f, 0) {
+		return nil, fmt.Errorf("gds: %v is not representable as a GDSII real", f)
 	}
 	sign := byte(0)
 	if f < 0 {
@@ -142,21 +149,19 @@ func real8(f float64) []byte {
 		f *= 16
 		exp--
 	}
-	if exp < 0 || exp > 127 {
-		// Out of representable range; saturate silently (not reachable for
-		// the unit values this package writes).
-		exp = 127
-	}
 	mant := uint64(math.Round(f * (1 << 56)))
 	if mant >= 1<<56 {
 		mant >>= 4
 		exp++
 	}
+	if exp < 0 || exp > 127 {
+		return nil, fmt.Errorf("gds: magnitude out of GDSII real range (base-16 exponent %d)", exp-64)
+	}
 	out[0] = sign | byte(exp)
 	for i := 0; i < 7; i++ {
 		out[1+i] = byte(mant >> (8 * (6 - i)))
 	}
-	return out
+	return out, nil
 }
 
 // parseReal8 decodes an excess-64 GDSII real.
@@ -181,8 +186,15 @@ func Write(out io.Writer, lib *Library) error {
 	w.record(recHEADER, int16s(600))
 	w.record(recBGNLIB, int16s(ts[0], ts[1], ts[2], ts[3], ts[4], ts[5], ts[0], ts[1], ts[2], ts[3], ts[4], ts[5]))
 	w.record(recLIBNAME, gdsString(lib.Name))
-	units := append(real8(lib.UserUnit), real8(lib.MetersPerDBU)...)
-	w.record(recUNITS, units)
+	uu, err := real8(lib.UserUnit)
+	if err != nil {
+		return fmt.Errorf("gds: UserUnit: %w", err)
+	}
+	mpd, err := real8(lib.MetersPerDBU)
+	if err != nil {
+		return fmt.Errorf("gds: MetersPerDBU: %w", err)
+	}
+	w.record(recUNITS, append(uu, mpd...))
 	w.record(recBGNSTR, int16s(ts[0], ts[1], ts[2], ts[3], ts[4], ts[5], ts[0], ts[1], ts[2], ts[3], ts[4], ts[5]))
 	w.record(recSTRNAME, gdsString(lib.StructName))
 	for _, s := range lib.Shapes {

@@ -12,10 +12,19 @@ import (
 	"pilfill/internal/geom"
 )
 
+func mustReal8(t *testing.T, f float64) []byte {
+	t.Helper()
+	b, err := real8(f)
+	if err != nil {
+		t.Fatalf("real8(%g): %v", f, err)
+	}
+	return b
+}
+
 func TestReal8RoundTrip(t *testing.T) {
 	cases := []float64{0, 1, -1, 0.001, 1e-9, 2, 16, 1.0 / 16, 3.14159265, -42.5, 1e-3, 1e6}
 	for _, f := range cases {
-		got := parseReal8(real8(f))
+		got := parseReal8(mustReal8(t, f))
 		tol := math.Abs(f) * 1e-14
 		if math.Abs(got-f) > tol {
 			t.Errorf("real8 round trip %g -> %g", f, got)
@@ -27,11 +36,36 @@ func TestQuickReal8RoundTrip(t *testing.T) {
 	f := func(seed int64) bool {
 		rng := rand.New(rand.NewSource(seed))
 		v := (rng.Float64() - 0.5) * math.Pow(10, float64(rng.Intn(20)-10))
-		got := parseReal8(real8(v))
+		b, err := real8(v)
+		if err != nil {
+			return false
+		}
+		got := parseReal8(b)
 		return math.Abs(got-v) <= math.Abs(v)*1e-13
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
 		t.Fatal(err)
+	}
+}
+
+func TestReal8RejectsUnrepresentable(t *testing.T) {
+	// Regression: out-of-range magnitudes used to saturate silently to the
+	// largest exponent (and ±Inf spun the normalize loop forever), so a bogus
+	// UserUnit produced a syntactically valid stream with corrupt units.
+	for _, f := range []float64{1e200, -1e200, 5e-300, math.NaN(), math.Inf(1), math.Inf(-1)} {
+		if _, err := real8(f); err == nil {
+			t.Errorf("real8(%g) succeeded, want error", f)
+		}
+	}
+	lib := sampleLib()
+	lib.UserUnit = 1e200
+	if err := Write(&bytes.Buffer{}, lib); err == nil {
+		t.Error("Write with unrepresentable UserUnit succeeded, want error")
+	}
+	lib = sampleLib()
+	lib.MetersPerDBU = math.Inf(1)
+	if err := Write(&bytes.Buffer{}, lib); err == nil {
+		t.Error("Write with infinite MetersPerDBU succeeded, want error")
 	}
 }
 
@@ -135,7 +169,7 @@ func TestReadRejectsNonRectangularBoundary(t *testing.T) {
 	w.record(recHEADER, int16s(600))
 	w.record(recBGNLIB, int16s(0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0))
 	w.record(recLIBNAME, gdsString("L"))
-	w.record(recUNITS, append(real8(1e-3), real8(1e-9)...))
+	w.record(recUNITS, append(mustReal8(t, 1e-3), mustReal8(t, 1e-9)...))
 	w.record(recBGNSTR, int16s(0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0))
 	w.record(recSTRNAME, gdsString("S"))
 	w.record(recBOUNDARY, nil)

@@ -115,7 +115,11 @@ func BuildInstances(caseName string, w, r int, cfg core.Config) (*core.Engine, [
 	if err != nil {
 		return nil, nil, err
 	}
-	return eng, eng.Instances(budget), nil
+	instances, err := eng.Instances(budget)
+	if err != nil {
+		return nil, nil, err
+	}
+	return eng, instances, nil
 }
 
 // Obs carries the optional observability hooks of a harness run: a span
@@ -166,7 +170,10 @@ func RunRowObs(caseName string, w, r int, weighted bool, ob Obs) (*Row, error) {
 	if err != nil {
 		return nil, err
 	}
-	instances := eng.Instances(budget)
+	instances, err := eng.Instances(budget)
+	if err != nil {
+		return nil, err
+	}
 	row := &Row{Case: caseName, W: w, R: r, Budget: budget.Total(), PrepTime: time.Since(prepStart)}
 
 	run := func(m core.Method) (Cell, *core.Result, error) {

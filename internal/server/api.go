@@ -44,6 +44,7 @@ type SubmitOptions struct {
 	Workers      int     `json:"workers,omitempty"`
 	Grounded     bool    `json:"grounded,omitempty"`
 	ILPNodeLimit int     `json:"ilp_node_limit,omitempty"`
+	NoSolveMemo  bool    `json:"no_solve_memo,omitempty"`
 }
 
 // JobView is the response of POST /v1/jobs, GET /v1/jobs/{id} and
@@ -93,6 +94,11 @@ type ReportPayload struct {
 	PhasesMS PhasesPayload  `json:"phases_ms"`
 	Density  DensityPayload `json:"density"`
 	Cache    *CachePayload  `json:"cache,omitempty"`
+	// MemoHits/MemoMisses are this run's tile-solve memo lookups; Memo
+	// snapshots the memo's cumulative counters (process-wide by default).
+	MemoHits   int          `json:"memo_hits,omitempty"`
+	MemoMisses int          `json:"memo_misses,omitempty"`
+	Memo       *MemoPayload `json:"memo,omitempty"`
 }
 
 // PhasesPayload is core.PhaseTimes in milliseconds.
@@ -116,6 +122,15 @@ type DensityPayload struct {
 type CachePayload struct {
 	Hits    uint64 `json:"hits"`
 	Misses  uint64 `json:"misses"`
+	Entries int    `json:"entries"`
+}
+
+// MemoPayload snapshots the tile-solve memo counters. The default memo is
+// process-wide, so the figures are cumulative across jobs.
+type MemoPayload struct {
+	Hits    uint64 `json:"hits"`
+	Misses  uint64 `json:"misses"`
+	Stored  uint64 `json:"stored"`
 	Entries int    `json:"entries"`
 }
 
@@ -152,6 +167,10 @@ func BuildReport(s *pilfill.Session, rep *pilfill.Report) *ReportPayload {
 	}
 	if cs := s.CacheStats(); cs.Hits+cs.Misses > 0 {
 		p.Cache = &CachePayload{Hits: cs.Hits, Misses: cs.Misses, Entries: cs.Entries}
+	}
+	p.MemoHits, p.MemoMisses = res.MemoHits, res.MemoMisses
+	if ms := s.MemoStats(); ms.Hits+ms.Misses > 0 {
+		p.Memo = &MemoPayload{Hits: ms.Hits, Misses: ms.Misses, Stored: ms.Stored, Entries: ms.Entries}
 	}
 	return p
 }

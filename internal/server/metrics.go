@@ -1,6 +1,7 @@
 // metrics.go assembles pilfilld's Prometheus exposition on the shared
 // obs.Registry: scrape-time gauges (queue depth, jobs by state, cap-table
-// cache counters), monotonic counters fed by the job queue's OnFinish hook,
+// cache and solve-memo counters), monotonic counters fed by the job queue's
+// OnFinish hook,
 // fixed-bucket histograms of solver CPU and wall time — now also broken down
 // per method and per pipeline phase — plus build metadata.
 package server
@@ -11,6 +12,7 @@ import (
 	"time"
 
 	"pilfill/internal/cap"
+	"pilfill/internal/core"
 	"pilfill/internal/jobqueue"
 	"pilfill/internal/obs"
 )
@@ -122,6 +124,23 @@ func newMetrics() *metrics {
 	reg.GaugeSamples("pilfilld_captable_cache_entries",
 		"Shared cap-table cache entries (process-wide).", func() []obs.Sample {
 			return []obs.Sample{{Value: float64(cap.Shared.Stats().Entries)}}
+		})
+
+	reg.CounterSamples("pilfilld_solve_memo_hits_total",
+		"Shared tile-solve memo hits (process-wide).", func() []obs.Sample {
+			return []obs.Sample{{Value: float64(core.SharedSolveMemo.Stats().Hits)}}
+		})
+	reg.CounterSamples("pilfilld_solve_memo_misses_total",
+		"Shared tile-solve memo misses (process-wide).", func() []obs.Sample {
+			return []obs.Sample{{Value: float64(core.SharedSolveMemo.Stats().Misses)}}
+		})
+	reg.CounterSamples("pilfilld_solve_memo_stored_total",
+		"Shared tile-solve memo entries stored (process-wide).", func() []obs.Sample {
+			return []obs.Sample{{Value: float64(core.SharedSolveMemo.Stats().Stored)}}
+		})
+	reg.GaugeSamples("pilfilld_solve_memo_entries",
+		"Shared tile-solve memo entries (process-wide).", func() []obs.Sample {
+			return []obs.Sample{{Value: float64(core.SharedSolveMemo.Stats().Entries)}}
 		})
 	return m
 }

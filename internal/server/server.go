@@ -367,6 +367,7 @@ func defaultTask(req *SubmitRequest, queueWorkers int) (jobqueue.Task, error) {
 			Workers:      o.Workers,
 			Grounded:     o.Grounded,
 			ILPNodeLimit: o.ILPNodeLimit,
+			NoSolveMemo:  o.NoSolveMemo,
 		})
 		if err != nil {
 			return nil, fmt.Errorf("prepare session: %w", err)

@@ -1,0 +1,67 @@
+package testcases
+
+import (
+	"testing"
+
+	"pilfill/internal/layout"
+)
+
+func TestGenerateChipPeriodic(t *testing.T) {
+	spec := Chip(3, 2)
+	l, err := GenerateChip(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := len(l.Nets), 2*3*2; got != want {
+		t.Fatalf("nets %d, want %d", got, want)
+	}
+	if l.Die.X2 != 3*spec.CellW || l.Die.Y2 != 2*spec.CellH {
+		t.Fatalf("die %+v for 3x2 cells of %dx%d", l.Die, spec.CellW, spec.CellH)
+	}
+	// Every cell's geometry must be an exact translate of cell (0,0): the
+	// memo's dedup rate depends on it.
+	base := l.Nets[:2]
+	for n, net := range l.Nets {
+		cell := n / 2
+		cx, cy := int64(cell%3), int64(cell/3)
+		ref := base[n%2]
+		dx, dy := cx*spec.CellW, cy*spec.CellH
+		for s, seg := range net.Segments {
+			want := ref.Segments[s]
+			if seg.A.X != want.A.X+dx || seg.A.Y != want.A.Y+dy ||
+				seg.B.X != want.B.X+dx || seg.B.Y != want.B.Y+dy {
+				t.Fatalf("net %d segment %d = %+v is not a translate of %+v", n, s, seg, want)
+			}
+		}
+	}
+	// The fill-rule pitch must divide both cell dimensions, or the site grid
+	// drifts relative to the cells and translated tiles stop fingerprinting
+	// to the same pattern.
+	pitch := spec.Rule.Pitch()
+	if spec.CellW%pitch != 0 || spec.CellH%pitch != 0 {
+		t.Fatalf("pitch %d does not divide cell %dx%d", pitch, spec.CellW, spec.CellH)
+	}
+	// The smallest chip that fits one 12800 nm window must dissect cleanly.
+	small, err := GenerateChip(Chip(1, 4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	dis, err := layout.NewDissection(small.Die, 12800, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dis.NX != 4 || dis.NY != 4 {
+		t.Fatalf("dissection %dx%d tiles, want 4x4", dis.NX, dis.NY)
+	}
+}
+
+func TestGenerateChipRejectsBadSpec(t *testing.T) {
+	if _, err := GenerateChip(ChipSpec{}); err == nil {
+		t.Error("zero spec accepted")
+	}
+	spec := Chip(1, 1)
+	spec.Inset = spec.CellW / 2
+	if _, err := GenerateChip(spec); err == nil {
+		t.Error("degenerate inset accepted")
+	}
+}

@@ -112,6 +112,10 @@ type Options struct {
 	// rebuilds its own table); results are identical either way. Mainly for
 	// benchmarking the cache itself.
 	NoTableCache bool
+	// NoSolveMemo disables the content-hash tile-solve memo (every tile is
+	// solved from scratch); results are bit-identical either way. Mainly for
+	// benchmarking the memo itself.
+	NoSolveMemo bool
 	// Trace optionally records hierarchical spans (run → prep → tile →
 	// solve, plus ILP progress instants) into an obs.Tracer ring buffer for
 	// Chrome-trace export. Nil disables tracing at zero cost.
@@ -183,6 +187,7 @@ func NewSession(l *layout.Layout, opts Options) (*Session, error) {
 		Workers:       o.Workers,
 		Grounded:      o.Grounded,
 		NoTableCache:  o.NoTableCache,
+		NoSolveMemo:   o.NoSolveMemo,
 		Trace:         o.Trace,
 		Logger:        o.Logger,
 		SlowTile:      o.SlowTileThreshold,
@@ -213,12 +218,16 @@ func NewSession(l *layout.Layout, opts Options) (*Session, error) {
 		return nil, fmt.Errorf("pilfill: %w", err)
 	}
 	minB, maxB := grid.Stats(nil)
+	instances, err := eng.Instances(budget)
+	if err != nil {
+		return nil, fmt.Errorf("pilfill: %w", err)
+	}
 	s := &Session{
 		Layout:    l,
 		Engine:    eng,
 		Grid:      grid,
 		Budget:    budget,
-		Instances: eng.Instances(budget),
+		Instances: instances,
 		Opts:      o,
 		MinBefore: minB,
 		MaxBefore: maxB,
@@ -350,6 +359,11 @@ func (r *Report) Summary() string {
 // when Options.NoTableCache was set. The default cache is process-wide, so
 // sessions sharing it see cumulative figures.
 func (s *Session) CacheStats() cap.CacheStats { return s.Engine.CacheStats() }
+
+// MemoStats snapshots the engine's tile-solve memo counters; zero when
+// Options.NoSolveMemo was set. The default memo is process-wide, so sessions
+// sharing it see cumulative figures.
+func (s *Session) MemoStats() core.MemoStats { return s.Engine.MemoStats() }
 
 // GenerateT1 builds the dense synthetic testcase (the stand-in for the
 // paper's industry design T1).

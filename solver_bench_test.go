@@ -50,7 +50,11 @@ func benchInstances(b *testing.B, caseName string, w, r int) []*core.Instance {
 	if err != nil {
 		b.Fatal(err)
 	}
-	return eng.Instances(budget)
+	instances, err := eng.Instances(budget)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return instances
 }
 
 // reportWork attaches node/pivot counters as benchmark metrics.
