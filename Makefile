@@ -4,9 +4,9 @@ GO ?= go
 VERSION ?= $(shell git describe --tags --always --dirty 2>/dev/null || echo dev)
 LDFLAGS := -ldflags "-X pilfill/internal/obs.Version=$(VERSION)"
 
-.PHONY: ci fmt vet build test race bench bench-solver bench-solver-short bench-engine bench-engine-short bench-chip bench-chip-short trace-smoke serve
+.PHONY: ci fmt vet build test race cluster-smoke bench bench-solver bench-solver-short bench-engine bench-engine-short bench-chip bench-chip-short trace-smoke serve
 
-ci: fmt vet build test race trace-smoke bench-solver-short bench-engine-short bench-chip-short
+ci: fmt vet build test race cluster-smoke trace-smoke bench-solver-short bench-engine-short bench-chip-short
 
 fmt:
 	@out=$$(gofmt -l .); if [ -n "$$out" ]; then \
@@ -22,7 +22,13 @@ test:
 	$(GO) test ./...
 
 race:
-	$(GO) test -race ./internal/core/... ./internal/jobqueue ./internal/server ./internal/obs
+	$(GO) test -race ./internal/core/... ./internal/jobqueue ./internal/server ./internal/obs ./internal/shard ./internal/cluster
+
+# Cluster bit-identity smoke test under the race detector: in-process
+# multi-worker scatter/gather (including the kill-a-worker fault path) must
+# produce a merged report bit-identical to the single-process run.
+cluster-smoke:
+	$(GO) test -race -count=1 -run 'TestClusterBitIdentical|TestClusterSurvivesWorkerKill' ./internal/cluster
 
 bench:
 	$(GO) test -bench 'EnginePreprocess' -benchtime 10x -run '^$$' .

@@ -6,10 +6,14 @@
 //
 //	pilfilld -addr :8419 -queue-capacity 32 -queue-workers 4
 //
-// On SIGTERM/SIGINT the daemon drains: /healthz flips to 503, new
-// submissions are rejected, running and queued jobs finish (up to
-// -drain-timeout, after which they are cancelled), then the listener
-// closes.
+// On SIGTERM/SIGINT the daemon drains: /readyz flips to 503 first (so
+// coordinators and load balancers stop routing here), then /healthz follows
+// as the queue drain starts, new submissions are rejected, running and
+// queued jobs finish (up to -drain-timeout, after which they are cancelled),
+// and the listener closes. With -data-dir set, accepted keyed jobs are
+// logged to an append-only WAL and unfinished ones are resubmitted on the
+// next start, so a restart loses no accepted work. -tenant-rate/-tenant-
+// share enable per-tenant admission keyed by the X-Tenant header.
 package main
 
 import (
@@ -41,6 +45,10 @@ func main() {
 		logLevel     = flag.String("log-level", "info", "structured log level: debug|info|warn|error")
 		logFormat    = flag.String("log-format", "text", "structured log format: text|json")
 		pprofFlag    = flag.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/ (protect the port)")
+		dataDir      = flag.String("data-dir", "", "directory for the durable-jobs WAL (empty = no durability)")
+		tenantRate   = flag.Float64("tenant-rate", 0, "per-tenant sustained submissions/sec, X-Tenant keyed (0 = no rate limit)")
+		tenantBurst  = flag.Float64("tenant-burst", 0, "per-tenant submission burst allowance (0 = max(1, rate))")
+		tenantShare  = flag.Int("tenant-share", 0, "total in-flight jobs split between tenants by weight (0 = no share accounting)")
 		version      = flag.Bool("version", false, "print the build version and exit")
 	)
 	flag.Parse()
@@ -55,7 +63,7 @@ func main() {
 	}
 	logger := obs.NewLogger(os.Stderr, level, *logFormat)
 
-	srv := server.New(server.Config{
+	cfg := server.Config{
 		Queue: jobqueue.Config{
 			Capacity:       *capacity,
 			Workers:        *workers,
@@ -64,7 +72,19 @@ func main() {
 		MaxBodyBytes: *maxBody,
 		Logger:       logger,
 		Pprof:        *pprofFlag,
-	})
+		DataDir:      *dataDir,
+	}
+	if *tenantRate > 0 || *tenantShare > 0 {
+		cfg.Tenant = &jobqueue.TenantConfig{
+			Rate:          *tenantRate,
+			Burst:         *tenantBurst,
+			ShareCapacity: *tenantShare,
+		}
+	}
+	srv, err := server.New(cfg)
+	if err != nil {
+		log.Fatalf("pilfilld: %v", err)
+	}
 	hs := &http.Server{Addr: *addr, Handler: srv}
 
 	errCh := make(chan error, 1)
@@ -83,8 +103,11 @@ func main() {
 		os.Exit(1)
 	}
 
-	// Drain first while the listener still serves GETs, so clients can poll
-	// their jobs' final states; then close the listener.
+	// Flip readiness before draining: routers stop sending new work while
+	// the jobs already here still finish cleanly. Then drain while the
+	// listener still serves GETs, so clients can poll their jobs' final
+	// states; then close the listener.
+	srv.SetReady(false)
 	drainCtx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
 	defer cancel()
 	if err := srv.Shutdown(drainCtx); err != nil {

@@ -1,0 +1,143 @@
+package cluster
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"pilfill/internal/jobqueue"
+)
+
+// TestServiceEndToEnd drives the serve mode over HTTP: submit a keyed chip
+// job, poll it to done, check the merged report against the single-process
+// reference, verify key dedupe returns the same job, and flip readiness.
+func TestServiceEndToEnd(t *testing.T) {
+	workers := newCluster(t, 2)
+	coord, err := New(Config{Workers: workers, PollInterval: 5 * time.Millisecond})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	svc, err := NewService(ServiceConfig{
+		Coordinator: coord,
+		Queue:       jobqueue.Config{Capacity: 8, Workers: 1},
+		DataDir:     t.TempDir(),
+	})
+	if err != nil {
+		t.Fatalf("NewService: %v", err)
+	}
+	ts := httptest.NewServer(svc)
+	t.Cleanup(func() {
+		ts.Close()
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		svc.Shutdown(ctx)
+	})
+
+	job := testChip("greedy", 2, 2)
+	prep, err := PrepareChip(job)
+	if err != nil {
+		t.Fatalf("PrepareChip: %v", err)
+	}
+	want, err := RunChipLocal(context.Background(), prep)
+	if err != nil {
+		t.Fatalf("RunChipLocal: %v", err)
+	}
+
+	body, _ := json.Marshal(ChipSubmitRequest{Key: "chip-1", Job: job})
+	resp, err := http.Post(ts.URL+"/v1/chips", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatalf("submit: %v", err)
+	}
+	var view ChipView
+	if err := json.NewDecoder(resp.Body).Decode(&view); err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("submit status %d, want 202", resp.StatusCode)
+	}
+
+	deadline := time.Now().Add(30 * time.Second)
+	for view.State != "done" {
+		if time.Now().After(deadline) {
+			t.Fatalf("chip job stuck in state %q", view.State)
+		}
+		if view.State == "failed" || view.State == "cancelled" {
+			t.Fatalf("chip job %s: %s", view.State, view.Error)
+		}
+		time.Sleep(10 * time.Millisecond)
+		r, err := http.Get(ts.URL + "/v1/chips/" + view.ID)
+		if err != nil {
+			t.Fatalf("poll: %v", err)
+		}
+		view = ChipView{}
+		if err := json.NewDecoder(r.Body).Decode(&view); err != nil {
+			t.Fatalf("decode poll: %v", err)
+		}
+		r.Body.Close()
+	}
+	if view.Report == nil {
+		t.Fatal("done chip job has no report")
+	}
+	if view.Report.FillHash != want.FillHash || view.Report.PerNetHash != want.PerNetHash ||
+		view.Report.FillCount != want.FillCount {
+		t.Fatalf("served report %s/%s/%d, reference %s/%s/%d",
+			view.Report.FillHash, view.Report.PerNetHash, view.Report.FillCount,
+			want.FillHash, want.PerNetHash, want.FillCount)
+	}
+
+	// Same key again: 200 with the existing (finished) job.
+	resp2, err := http.Post(ts.URL+"/v1/chips", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatalf("resubmit: %v", err)
+	}
+	var dup ChipView
+	json.NewDecoder(resp2.Body).Decode(&dup)
+	resp2.Body.Close()
+	if resp2.StatusCode != http.StatusOK || dup.ID != view.ID {
+		t.Fatalf("dedupe returned %d id %s, want 200 id %s", resp2.StatusCode, dup.ID, view.ID)
+	}
+
+	// List with pagination cursor shape.
+	lr, err := http.Get(ts.URL + "/v1/chips?limit=1")
+	if err != nil {
+		t.Fatalf("list: %v", err)
+	}
+	var list ChipListResponse
+	json.NewDecoder(lr.Body).Decode(&list)
+	lr.Body.Close()
+	if len(list.Chips) != 1 {
+		t.Fatalf("list page has %d chips, want 1", len(list.Chips))
+	}
+
+	// Readiness flips independently of health.
+	rr, _ := http.Get(ts.URL + "/readyz")
+	rr.Body.Close()
+	if rr.StatusCode != http.StatusOK {
+		t.Fatalf("readyz %d before drain, want 200", rr.StatusCode)
+	}
+	svc.SetReady(false)
+	rr2, _ := http.Get(ts.URL + "/readyz")
+	rr2.Body.Close()
+	hr, _ := http.Get(ts.URL + "/healthz")
+	hr.Body.Close()
+	if rr2.StatusCode != http.StatusServiceUnavailable || hr.StatusCode != http.StatusOK {
+		t.Fatalf("after SetReady(false): readyz %d healthz %d, want 503/200",
+			rr2.StatusCode, hr.StatusCode)
+	}
+
+	// A bad method is rejected up front, not as a failed job.
+	bad, _ := json.Marshal(ChipSubmitRequest{Job: ChipJob{Method: "nope", CellsX: 1, CellsY: 1}})
+	br, err := http.Post(ts.URL+"/v1/chips", "application/json", bytes.NewReader(bad))
+	if err != nil {
+		t.Fatalf("bad submit: %v", err)
+	}
+	br.Body.Close()
+	if br.StatusCode != http.StatusBadRequest {
+		t.Fatalf("bad method accepted with %d, want 400", br.StatusCode)
+	}
+}

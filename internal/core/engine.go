@@ -81,6 +81,12 @@ type Config struct {
 	// baseline derives its randomness per tile from (Seed, I, J), and the
 	// reduction happens in instance order.
 	Workers int
+	// TileOffI/TileOffJ translate this engine's tile indices to a containing
+	// chip's tile grid for the Normal baseline's per-tile seed derivation, so
+	// a sharded region run reproduces the whole-chip run's randomness
+	// tile-for-tile (internal/shard sets them; zero means the engine's grid
+	// is the chip's). They affect nothing but Normal's per-tile RNG seeds.
+	TileOffI, TileOffJ int
 	// NoSolvePool disables the per-worker SolveScratch pooling and the
 	// assignment slab, restoring the pre-pooling per-tile allocation
 	// behavior. Results are bit-identical either way; the switch exists so
@@ -511,6 +517,14 @@ func (e *Engine) solveOpts(ctx context.Context, in *Instance, lane int, parent o
 	return opts
 }
 
+// normalSeed derives the Normal baseline's per-tile RNG seed from the tile's
+// chip-grid position (local index plus Config.TileOffI/J), so sharded region
+// engines draw the same randomness for a tile as the whole-chip engine.
+func (e *Engine) normalSeed(in *Instance) int64 {
+	i, j := int64(in.I+e.Cfg.TileOffI), int64(in.J+e.Cfg.TileOffJ)
+	return e.Cfg.Seed ^ (i*1_000_003+j)*2_654_435_761
+}
+
 // solveInstance dispatches one tile to the chosen solver. The Normal
 // baseline derives its randomness from (Seed, I, J) so tiles can be solved
 // in any order — or concurrently — with identical results. A cancelled
@@ -523,8 +537,7 @@ func (e *Engine) solveInstance(ctx context.Context, method Method, in *Instance,
 	}
 	switch method {
 	case Normal:
-		seed := e.Cfg.Seed ^ (int64(in.I)*1_000_003+int64(in.J))*2_654_435_761
-		return SolveNormal(in, rand.New(rand.NewSource(seed))), st, nil
+		return SolveNormal(in, rand.New(rand.NewSource(e.normalSeed(in)))), st, nil
 	case Greedy:
 		return SolveGreedy(in), st, nil
 	case MarginalGreedy:
@@ -578,11 +591,10 @@ func (e *Engine) solveInstancePooled(ctx context.Context, method Method, in *Ins
 	}
 	switch method {
 	case Normal:
-		seed := e.Cfg.Seed ^ (int64(in.I)*1_000_003+int64(in.J))*2_654_435_761
 		// Re-seeding reinitializes the rng's source exactly as
 		// rand.NewSource(seed) would, so the pooled sampler reproduces the
 		// unpooled per-tile rand.New sequence bit for bit.
-		sc.rng.Seed(seed)
+		sc.rng.Seed(e.normalSeed(in))
 		sc.slots = solveNormalInto(a, in, sc.rng, sc.slots)
 		return st, nil
 	case Greedy:

@@ -93,11 +93,19 @@ type SubmitOptions struct {
 	// Timeout bounds the job's run time (measured from when a worker picks
 	// it up, not from submission); zero uses Config.DefaultTimeout.
 	Timeout time.Duration
+	// Key is an optional caller-supplied external idempotency key. Submitting
+	// a task under a key that is already known returns the existing job's
+	// snapshot instead of enqueueing a duplicate — the primitive a
+	// retry-with-resubmit coordinator needs to make resubmission safe. Keys
+	// are never recycled: they stick to their job for the queue's lifetime,
+	// terminal or not.
+	Key string
 }
 
 // Snapshot is a race-free copy of a job's externally visible state.
 type Snapshot struct {
 	ID        string
+	Key       string // external idempotency key, when submitted with one
 	State     State
 	Phase     string // last setPhase value while running
 	Submitted time.Time
@@ -110,6 +118,7 @@ type Snapshot struct {
 // job is the internal record; all mutable fields are guarded by mu.
 type job struct {
 	id      string
+	key     string
 	task    Task
 	timeout time.Duration
 
@@ -128,6 +137,7 @@ type job struct {
 func (j *job) snapshotLocked() Snapshot {
 	return Snapshot{
 		ID:        j.id,
+		Key:       j.key,
 		State:     j.state,
 		Phase:     j.phase,
 		Submitted: j.submitted,
@@ -165,7 +175,8 @@ type Queue struct {
 
 	mu       sync.Mutex
 	jobs     map[string]*job
-	order    []string // submission order, for List
+	keys     map[string]string // external key -> job id
+	order    []string          // submission order, for List
 	nextID   int64
 	draining bool
 
@@ -189,6 +200,7 @@ func New(cfg Config) *Queue {
 		cfg:     cfg,
 		pending: make(chan *job, cfg.Capacity),
 		jobs:    make(map[string]*job),
+		keys:    make(map[string]string),
 	}
 	q.baseCtx, q.baseCancel = context.WithCancelCause(context.Background())
 	for w := 0; w < cfg.Workers; w++ {
@@ -200,24 +212,44 @@ func New(cfg Config) *Queue {
 
 // Submit enqueues a task. It never blocks: a full buffer returns
 // ErrQueueFull and a draining queue returns ErrDraining, both with a zero
-// Snapshot.
+// Snapshot. When SubmitOptions.Key matches an existing job the existing
+// snapshot is returned without enqueueing anything (see SubmitKeyed for the
+// dedupe indication).
 func (q *Queue) Submit(task Task, opts SubmitOptions) (Snapshot, error) {
+	snap, _, err := q.SubmitKeyed(task, opts)
+	return snap, err
+}
+
+// SubmitKeyed is Submit reporting idempotent-key deduplication: when
+// opts.Key names a job the queue already knows, the existing job's snapshot
+// is returned with deduped == true — no new job is created, the duplicate is
+// not counted as a submission, and a draining or full queue does not reject
+// the lookup. A fresh submission returns deduped == false.
+func (q *Queue) SubmitKeyed(task Task, opts SubmitOptions) (Snapshot, bool, error) {
 	if task == nil {
-		return Snapshot{}, errors.New("jobqueue: nil task")
+		return Snapshot{}, false, errors.New("jobqueue: nil task")
 	}
 	timeout := opts.Timeout
 	if timeout <= 0 {
 		timeout = q.cfg.DefaultTimeout
 	}
 	q.mu.Lock()
+	if opts.Key != "" {
+		if id, ok := q.keys[opts.Key]; ok {
+			j := q.jobs[id]
+			q.mu.Unlock()
+			return j.snapshot(), true, nil
+		}
+	}
 	defer q.mu.Unlock()
 	if q.draining {
 		q.rejected.Add(1)
-		return Snapshot{}, ErrDraining
+		return Snapshot{}, false, ErrDraining
 	}
 	q.nextID++
 	j := &job{
 		id:        fmt.Sprintf("job-%08d", q.nextID),
+		key:       opts.Key,
 		task:      task,
 		timeout:   timeout,
 		state:     Pending,
@@ -228,12 +260,15 @@ func (q *Queue) Submit(task Task, opts SubmitOptions) (Snapshot, error) {
 	default:
 		q.nextID-- // unused ID; keep IDs dense
 		q.rejected.Add(1)
-		return Snapshot{}, ErrQueueFull
+		return Snapshot{}, false, ErrQueueFull
 	}
 	q.jobs[j.id] = j
+	if j.key != "" {
+		q.keys[j.key] = j.id
+	}
 	q.order = append(q.order, j.id)
 	q.submitted.Add(1)
-	return j.snapshot(), nil
+	return j.snapshot(), false, nil
 }
 
 // Get returns a job's current snapshot.
@@ -249,18 +284,49 @@ func (q *Queue) Get(id string) (Snapshot, error) {
 
 // List returns snapshots of every known job in submission order.
 func (q *Queue) List() []Snapshot {
+	snaps, _ := q.ListPage("", 0)
+	return snaps
+}
+
+// ListPage returns up to limit snapshots in submission order, starting
+// strictly after the job named by the cursor (an empty cursor starts at the
+// beginning; limit <= 0 means no bound). The second return is the cursor for
+// the next page — the last returned job's id — or "" when the listing is
+// exhausted. Submission order never reorders existing entries, so paging
+// with the returned cursor observes each job at most once even while new
+// jobs arrive. An unknown cursor yields an empty page (the job may predate a
+// restart); callers should restart from "".
+func (q *Queue) ListPage(after string, limit int) ([]Snapshot, string) {
 	q.mu.Lock()
-	ids := append([]string(nil), q.order...)
-	js := make([]*job, len(ids))
-	for i, id := range ids {
+	start := 0
+	if after != "" {
+		start = len(q.order) // unknown cursor: empty page
+		for i, id := range q.order {
+			if id == after {
+				start = i + 1
+				break
+			}
+		}
+	}
+	end := len(q.order)
+	if limit > 0 && start+limit < end {
+		end = start + limit
+	}
+	js := make([]*job, end-start)
+	for i, id := range q.order[start:end] {
 		js[i] = q.jobs[id]
 	}
+	more := end < len(q.order)
 	q.mu.Unlock()
 	out := make([]Snapshot, len(js))
 	for i, j := range js {
 		out[i] = j.snapshot()
 	}
-	return out
+	next := ""
+	if more && len(out) > 0 {
+		next = out[len(out)-1].ID
+	}
+	return out, next
 }
 
 // Cancel stops a job: a pending job goes terminal immediately (its queue

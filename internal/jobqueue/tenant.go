@@ -1,0 +1,231 @@
+// tenant.go implements per-tenant admission control layered in front of the
+// queue: a token-bucket rate limit (smooth sustained rate with a burst
+// allowance) plus weighted queue-share accounting (each tenant's jobs in
+// flight are bounded by its weight's share of the queue), both keyed by an
+// opaque tenant string — the server maps the X-Tenant header onto it. A
+// breach is reported with a Retry-After hint so the HTTP layer can answer
+// 429 with useful backoff guidance instead of a bare rejection.
+package jobqueue
+
+import (
+	"fmt"
+	"math"
+	"sync"
+	"time"
+)
+
+// DefaultTenant is the tenant bucket used when a request carries no tenant
+// identity. It is rate-limited and share-accounted like any named tenant, so
+// anonymous traffic cannot starve identified tenants.
+const DefaultTenant = "anonymous"
+
+// TenantConfig parameterizes a TenantAdmission.
+type TenantConfig struct {
+	// Rate is the sustained admission rate per tenant, in jobs per second.
+	// <= 0 disables rate limiting (share accounting still applies).
+	Rate float64
+	// Burst is the token-bucket capacity: how many jobs a tenant may submit
+	// back to back after an idle period. Defaults to max(1, Rate).
+	Burst float64
+	// ShareCapacity is the total number of in-flight (admitted, not yet
+	// terminal) jobs split between tenants by weight. <= 0 disables share
+	// accounting (rate limiting still applies).
+	ShareCapacity int
+	// Weights assigns relative queue-share weights by tenant name; tenants
+	// absent from the map get DefaultWeight. A tenant's share of
+	// ShareCapacity is its weight over the summed weight of every tenant
+	// currently holding in-flight jobs (plus itself), floored at one job.
+	Weights map[string]float64
+	// DefaultWeight is the weight of tenants absent from Weights; <= 0
+	// means 1.
+	DefaultWeight float64
+	// Now overrides the clock for tests; nil uses time.Now.
+	Now func() time.Time
+}
+
+// TenantStats is a point-in-time view of one tenant's admission state.
+type TenantStats struct {
+	Tenant   string
+	Active   int     // admitted jobs not yet released
+	Tokens   float64 // current token-bucket level
+	Admitted int64   // lifetime admissions
+	Rejected int64   // lifetime rejections (rate + share)
+}
+
+// AdmitResult reports an admission decision.
+type AdmitResult struct {
+	OK bool
+	// RetryAfter is the suggested wait before retrying a rejected
+	// submission: time until the next token for rate breaches, a nominal
+	// second for share breaches.
+	RetryAfter time.Duration
+	// Reason labels a rejection: "rate" or "share".
+	Reason string
+}
+
+// tenantState is one tenant's bucket and accounting; guarded by the
+// admission's mutex.
+type tenantState struct {
+	tokens   float64
+	last     time.Time
+	active   int
+	admitted int64
+	rejected int64
+}
+
+// TenantAdmission tracks token buckets and in-flight counts per tenant.
+// Create with NewTenantAdmission; methods are safe for concurrent use.
+type TenantAdmission struct {
+	cfg TenantConfig
+	now func() time.Time
+
+	mu      sync.Mutex
+	tenants map[string]*tenantState
+}
+
+// NewTenantAdmission builds the admission layer. A nil config pointer means
+// "no admission" and returns nil; the nil receiver is safe and admits
+// everything, so callers can hold an optional admission without branching.
+func NewTenantAdmission(cfg TenantConfig) *TenantAdmission {
+	if cfg.Burst <= 0 {
+		cfg.Burst = math.Max(1, cfg.Rate)
+	}
+	if cfg.DefaultWeight <= 0 {
+		cfg.DefaultWeight = 1
+	}
+	now := cfg.Now
+	if now == nil {
+		now = time.Now
+	}
+	return &TenantAdmission{cfg: cfg, now: now, tenants: make(map[string]*tenantState)}
+}
+
+func (a *TenantAdmission) state(tenant string) *tenantState {
+	st := a.tenants[tenant]
+	if st == nil {
+		st = &tenantState{tokens: a.cfg.Burst, last: a.now()}
+		a.tenants[tenant] = st
+	}
+	return st
+}
+
+func (a *TenantAdmission) weight(tenant string) float64 {
+	if w, ok := a.cfg.Weights[tenant]; ok && w > 0 {
+		return w
+	}
+	return a.cfg.DefaultWeight
+}
+
+// refill advances the bucket to the current time.
+func (a *TenantAdmission) refill(st *tenantState) {
+	if a.cfg.Rate <= 0 {
+		return
+	}
+	t := a.now()
+	if dt := t.Sub(st.last).Seconds(); dt > 0 {
+		st.tokens = math.Min(a.cfg.Burst, st.tokens+dt*a.cfg.Rate)
+	}
+	st.last = t
+}
+
+// share returns the tenant's in-flight job allowance: its weight's slice of
+// ShareCapacity relative to every tenant currently holding jobs (itself
+// included), floored at one so a configured tenant is never locked out
+// entirely by heavier neighbors.
+func (a *TenantAdmission) share(tenant string) int {
+	total := a.weight(tenant)
+	for t, st := range a.tenants {
+		if t != tenant && st.active > 0 {
+			total += a.weight(t)
+		}
+	}
+	s := int(math.Floor(float64(a.cfg.ShareCapacity) * a.weight(tenant) / total))
+	if s < 1 {
+		s = 1
+	}
+	return s
+}
+
+// Admit decides whether the tenant may submit one job now. An admitted job
+// consumes one token and one in-flight slot; the caller must pair every
+// admitted job with exactly one Release once the job reaches a terminal
+// state (or when enqueueing it fails). A nil receiver admits everything.
+func (a *TenantAdmission) Admit(tenant string) AdmitResult {
+	if a == nil {
+		return AdmitResult{OK: true}
+	}
+	if tenant == "" {
+		tenant = DefaultTenant
+	}
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	st := a.state(tenant)
+	a.refill(st)
+	if a.cfg.Rate > 0 && st.tokens < 1 {
+		st.rejected++
+		wait := time.Duration((1 - st.tokens) / a.cfg.Rate * float64(time.Second))
+		return AdmitResult{RetryAfter: wait, Reason: "rate"}
+	}
+	if a.cfg.ShareCapacity > 0 && st.active >= a.share(tenant) {
+		st.rejected++
+		return AdmitResult{RetryAfter: time.Second, Reason: "share"}
+	}
+	if a.cfg.Rate > 0 {
+		st.tokens--
+	}
+	st.active++
+	st.admitted++
+	return AdmitResult{OK: true}
+}
+
+// Release returns one in-flight slot — call once per admitted job when it
+// reaches a terminal state, or immediately when the queue refused it. Rate
+// tokens are not refunded: the rate limit meters submissions, not
+// completions. A nil receiver is a no-op.
+func (a *TenantAdmission) Release(tenant string) {
+	if a == nil {
+		return
+	}
+	if tenant == "" {
+		tenant = DefaultTenant
+	}
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if st := a.tenants[tenant]; st != nil && st.active > 0 {
+		st.active--
+	}
+}
+
+// Stats snapshots every known tenant's admission state, sorted by tenant
+// name for deterministic exposition. A nil receiver returns nil.
+func (a *TenantAdmission) Stats() []TenantStats {
+	if a == nil {
+		return nil
+	}
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	out := make([]TenantStats, 0, len(a.tenants))
+	for t, st := range a.tenants {
+		out = append(out, TenantStats{
+			Tenant: t, Active: st.active, Tokens: st.tokens,
+			Admitted: st.admitted, Rejected: st.rejected,
+		})
+	}
+	// Insertion sort: tenant counts are small and this avoids importing sort
+	// for one call site.
+	for i := 1; i < len(out); i++ {
+		for j := i; j > 0 && out[j].Tenant < out[j-1].Tenant; j-- {
+			out[j], out[j-1] = out[j-1], out[j]
+		}
+	}
+	return out
+}
+
+// RetryAfterSeconds renders a Retry-After hint as whole seconds, at least 1.
+func RetryAfterSeconds(d time.Duration) string {
+	s := int(math.Ceil(d.Seconds()))
+	if s < 1 {
+		s = 1
+	}
+	return fmt.Sprintf("%d", s)
+}

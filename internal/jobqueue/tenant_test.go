@@ -1,0 +1,175 @@
+package jobqueue
+
+import (
+	"testing"
+	"time"
+)
+
+// fakeClock is a hand-cranked time source for deterministic bucket tests.
+type fakeClock struct{ t time.Time }
+
+func (c *fakeClock) now() time.Time          { return c.t }
+func (c *fakeClock) advance(d time.Duration) { c.t = c.t.Add(d) }
+
+func newFakeAdmission(cfg TenantConfig) (*TenantAdmission, *fakeClock) {
+	clk := &fakeClock{t: time.Unix(1_700_000_000, 0)}
+	cfg.Now = clk.now
+	return NewTenantAdmission(cfg), clk
+}
+
+func TestTenantRateLimitAndRefill(t *testing.T) {
+	a, clk := newFakeAdmission(TenantConfig{Rate: 2, Burst: 2})
+
+	// Burst of 2 goes through, the third is rate-limited.
+	for i := 0; i < 2; i++ {
+		if res := a.Admit("acme"); !res.OK {
+			t.Fatalf("burst admit %d rejected: %+v", i, res)
+		}
+	}
+	res := a.Admit("acme")
+	if res.OK || res.Reason != "rate" {
+		t.Fatalf("over-burst admit = %+v, want rate rejection", res)
+	}
+	// One token short of a full token: Retry-After rounds up to 1s.
+	if got := RetryAfterSeconds(res.RetryAfter); got != "1" {
+		t.Fatalf("Retry-After = %s, want 1", got)
+	}
+
+	// Half a second at 2/s refills one token.
+	clk.advance(500 * time.Millisecond)
+	if res := a.Admit("acme"); !res.OK {
+		t.Fatalf("admit after refill rejected: %+v", res)
+	}
+	if res := a.Admit("acme"); res.OK {
+		t.Fatalf("bucket should be empty again, got %+v", res)
+	}
+
+	// A long idle period caps the bucket at Burst, not more.
+	clk.advance(time.Hour)
+	ok := 0
+	for a.Admit("acme").OK {
+		ok++
+	}
+	if ok != 2 {
+		t.Fatalf("admits after long idle = %d, want Burst = 2", ok)
+	}
+
+	// Tenants have independent buckets.
+	if res := a.Admit("globex"); !res.OK {
+		t.Fatalf("fresh tenant rejected: %+v", res)
+	}
+}
+
+func TestTenantShareAccounting(t *testing.T) {
+	// 4 in-flight slots, no rate limit. With only one active tenant its share
+	// is everything; once a second tenant holds jobs the shares split by
+	// weight.
+	a, _ := newFakeAdmission(TenantConfig{
+		ShareCapacity: 4,
+		Weights:       map[string]float64{"gold": 3, "bronze": 1},
+	})
+
+	for i := 0; i < 4; i++ {
+		if res := a.Admit("gold"); !res.OK {
+			t.Fatalf("sole-tenant admit %d rejected: %+v", i, res)
+		}
+	}
+	res := a.Admit("gold")
+	if res.OK || res.Reason != "share" {
+		t.Fatalf("over-capacity admit = %+v, want share rejection", res)
+	}
+	if res.RetryAfter <= 0 {
+		t.Fatalf("share rejection carries no Retry-After: %+v", res)
+	}
+
+	// bronze is active too: gold's share becomes floor(4 * 3/4) = 3, bronze's
+	// floor(4 * 1/4) = 1.
+	if res := a.Admit("bronze"); !res.OK {
+		t.Fatalf("bronze first admit rejected: %+v", res)
+	}
+	if res := a.Admit("bronze"); res.OK {
+		t.Fatalf("bronze second admit should breach its share of 1: %+v", res)
+	}
+	a.Release("gold")
+	a.Release("gold") // gold now holds 2 < 3: admitted again
+	if res := a.Admit("gold"); !res.OK {
+		t.Fatalf("gold admit under share rejected: %+v", res)
+	}
+	if res := a.Admit("gold"); res.OK {
+		t.Fatalf("gold at share of 3 should be rejected: %+v", res)
+	}
+
+	st := a.Stats()
+	if len(st) != 2 || st[0].Tenant != "bronze" || st[1].Tenant != "gold" {
+		t.Fatalf("stats order = %+v, want bronze then gold", st)
+	}
+	if st[1].Active != 3 || st[1].Rejected != 2 {
+		t.Fatalf("gold stats = %+v, want active 3 rejected 2", st[1])
+	}
+}
+
+func TestTenantShareFloorsAtOne(t *testing.T) {
+	// A featherweight tenant still gets one slot.
+	a, _ := newFakeAdmission(TenantConfig{
+		ShareCapacity: 2,
+		Weights:       map[string]float64{"whale": 100},
+	})
+	if res := a.Admit("whale"); !res.OK {
+		t.Fatal("whale rejected")
+	}
+	if res := a.Admit("minnow"); !res.OK {
+		t.Fatalf("minnow should get the floor of one slot: %+v", res)
+	}
+	if res := a.Admit("minnow"); res.OK {
+		t.Fatalf("minnow above its floor share: %+v", res)
+	}
+}
+
+func TestTenantDefaultsAndNilSafety(t *testing.T) {
+	var a *TenantAdmission
+	if res := a.Admit("x"); !res.OK {
+		t.Fatal("nil admission must admit")
+	}
+	a.Release("x")
+	if st := a.Stats(); st != nil {
+		t.Fatalf("nil admission stats = %v", st)
+	}
+
+	// Empty tenant maps onto DefaultTenant and release is paired correctly.
+	b, _ := newFakeAdmission(TenantConfig{ShareCapacity: 1})
+	if res := b.Admit(""); !res.OK {
+		t.Fatal("anonymous admit rejected")
+	}
+	if res := b.Admit(DefaultTenant); res.OK {
+		t.Fatal("anonymous and DefaultTenant must share one bucket")
+	}
+	b.Release("")
+	if res := b.Admit(DefaultTenant); !res.OK {
+		t.Fatal("release of empty tenant did not free the slot")
+	}
+
+	// Over-release never goes negative.
+	b.Release("")
+	b.Release("")
+	if res := b.Admit(""); !res.OK {
+		t.Fatal("admit after over-release rejected")
+	}
+}
+
+func TestRetryAfterSeconds(t *testing.T) {
+	cases := []struct {
+		d    time.Duration
+		want string
+	}{
+		{0, "1"},
+		{300 * time.Millisecond, "1"},
+		{time.Second, "1"},
+		{1200 * time.Millisecond, "2"},
+		{5 * time.Second, "5"},
+	}
+	for _, c := range cases {
+		if got := RetryAfterSeconds(c.d); got != c.want {
+			t.Fatalf("RetryAfterSeconds(%v) = %s, want %s", c.d, got, c.want)
+		}
+	}
+}

@@ -125,6 +125,13 @@ func (v *CounterVec) Add(labelValue string, delta float64) {
 // Inc adds one for a label value.
 func (v *CounterVec) Inc(labelValue string) { v.Add(labelValue, 1) }
 
+// Value returns the current count for a label value (0 if never observed).
+func (v *CounterVec) Value(labelValue string) float64 {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	return v.m[labelValue]
+}
+
 // CounterVec registers a single-label counter family. Label values appear
 // in the exposition sorted, only once first observed.
 func (r *Registry) CounterVec(name, help, labelKey string) *CounterVec {

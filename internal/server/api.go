@@ -30,6 +30,14 @@ type SubmitRequest struct {
 	// TimeoutMS bounds the job's run time in milliseconds; 0 uses the
 	// daemon's default.
 	TimeoutMS int64 `json:"timeout_ms,omitempty"`
+	// Key is an optional idempotency key: resubmitting with a known key
+	// returns the existing job (200 instead of 202) without enqueueing
+	// anything. With a -data-dir configured, keyed jobs are also written to
+	// the worker's WAL and resubmitted after a restart.
+	Key string `json:"key,omitempty"`
+	// Region, when set, makes this a sharded region job: solve only the
+	// owned tile rectangle of DEF under the supplied budget (see RegionSpec).
+	Region *RegionSpec `json:"region,omitempty"`
 }
 
 // SubmitOptions is the JSON projection of pilfill.Options the service
@@ -64,9 +72,12 @@ type JobView struct {
 	Report    *ReportPayload `json:"report,omitempty"`
 }
 
-// ListResponse is the response of GET /v1/jobs.
+// ListResponse is the response of GET /v1/jobs. When the listing was
+// truncated by ?limit=, NextAfter carries the cursor for the next page
+// (pass it as ?after=); it is empty on the final page.
 type ListResponse struct {
-	Jobs []JobView `json:"jobs"`
+	Jobs      []JobView `json:"jobs"`
+	NextAfter string    `json:"next_after,omitempty"`
 }
 
 // ErrorResponse is the body of every non-2xx response.
@@ -99,6 +110,9 @@ type ReportPayload struct {
 	MemoHits   int          `json:"memo_hits,omitempty"`
 	MemoMisses int          `json:"memo_misses,omitempty"`
 	Memo       *MemoPayload `json:"memo,omitempty"`
+	// Region carries a sharded region job's merge inputs (fills and delay
+	// subtotals in chip coordinates); nil for whole-layout jobs.
+	Region *RegionPayload `json:"region,omitempty"`
 }
 
 // PhasesPayload is core.PhaseTimes in milliseconds.

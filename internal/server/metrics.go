@@ -145,6 +145,37 @@ func newMetrics() *metrics {
 	return m
 }
 
+// registerTenants adds the per-tenant admission families, sampled from the
+// admission layer at scrape time (tenant cardinality is operator-controlled
+// and small).
+func (m *metrics) registerTenants(adm *jobqueue.TenantAdmission) {
+	samples := func(value func(jobqueue.TenantStats) float64) func() []obs.Sample {
+		return func() []obs.Sample {
+			stats := adm.Stats()
+			out := make([]obs.Sample, 0, len(stats))
+			for _, st := range stats {
+				out = append(out, obs.Sample{
+					Labels: []obs.Label{{Name: "tenant", Value: st.Tenant}},
+					Value:  value(st),
+				})
+			}
+			return out
+		}
+	}
+	m.reg.CounterSamples("pilfilld_tenant_admitted_total",
+		"Submissions admitted, by tenant.",
+		samples(func(st jobqueue.TenantStats) float64 { return float64(st.Admitted) }))
+	m.reg.CounterSamples("pilfilld_tenant_rejected_total",
+		"Submissions rejected by rate or queue-share limits, by tenant.",
+		samples(func(st jobqueue.TenantStats) float64 { return float64(st.Rejected) }))
+	m.reg.GaugeSamples("pilfilld_tenant_active_jobs",
+		"Admitted jobs not yet finished, by tenant.",
+		samples(func(st jobqueue.TenantStats) float64 { return float64(st.Active) }))
+	m.reg.GaugeSamples("pilfilld_tenant_tokens",
+		"Current token-bucket level, by tenant.",
+		samples(func(st jobqueue.TenantStats) float64 { return st.Tokens }))
+}
+
 // jobFinished is wired to jobqueue.Config.OnFinish.
 func (m *metrics) jobFinished(snap jobqueue.Snapshot) {
 	m.finished.Inc(snap.State.String())

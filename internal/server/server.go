@@ -5,14 +5,25 @@
 //
 // API:
 //
-//	POST   /v1/jobs       submit a job (DEF or named testcase + method);
-//	                      202 with the job id, 429 when the queue is full,
-//	                      503 while draining
-//	GET    /v1/jobs       list all jobs
+//	POST   /v1/jobs       submit a job (DEF or named testcase + method, or a
+//	                      sharded region job via "region"); 202 with the job
+//	                      id, 200 when an idempotency key dedupes onto an
+//	                      existing job, 429 when the queue is full or the
+//	                      tenant (X-Tenant header) is over its rate or queue
+//	                      share (with Retry-After), 503 while draining
+//	GET    /v1/jobs       list jobs; ?limit= and ?after= page through the
+//	                      submission-ordered listing
 //	GET    /v1/jobs/{id}  job state, running phase, and the report when done
 //	DELETE /v1/jobs/{id}  cancel a pending or running job (409 if finished)
-//	GET    /healthz       200 "ok", 503 while draining
+//	GET    /healthz       200 "ok", 503 while draining (liveness)
+//	GET    /readyz        200 "ok" only while accepting new work — flipped
+//	                      off by SetReady before a drain so coordinators and
+//	                      load balancers stop routing here (readiness)
 //	GET    /metrics       Prometheus text exposition
+//
+// With Config.DataDir set, keyed submissions are written to an append-only
+// JSONL WAL and unfinished ones are resubmitted on startup, so a restart
+// does not lose accepted work (the idempotency keys make the replay safe).
 package server
 
 import (
@@ -23,7 +34,9 @@ import (
 	"log/slog"
 	"net/http"
 	"net/http/pprof"
+	"path/filepath"
 	"runtime"
+	"strconv"
 	"strings"
 	"sync"
 	"sync/atomic"
@@ -56,6 +69,14 @@ type Config struct {
 	// Pprof mounts the net/http/pprof handlers under /debug/pprof/ —
 	// protect the port accordingly when enabling it.
 	Pprof bool
+	// Tenant enables per-tenant admission control on submissions, keyed by
+	// the X-Tenant header (missing header = jobqueue.DefaultTenant). Nil
+	// disables admission.
+	Tenant *jobqueue.TenantConfig
+	// DataDir, when non-empty, enables the durable-jobs WAL at
+	// DataDir/jobs.wal: keyed submissions are logged on accept and marked on
+	// completion, and unfinished ones are resubmitted when the server starts.
+	DataDir string
 }
 
 // Server is the pilfilld HTTP handler. Create with New; it owns its queue.
@@ -65,14 +86,20 @@ type Server struct {
 	metrics *metrics
 	factory func(req *SubmitRequest) (jobqueue.Task, error)
 	logger  *slog.Logger
+	adm     *jobqueue.TenantAdmission
+	wal     *jobqueue.WAL
+	ready   atomic.Bool  // readiness; flipped off by SetReady before a drain
 	nextReq atomic.Int64 // request-id counter
 
 	mu      sync.Mutex
 	methods map[string]string // job id -> method label, for JobView
+	tenants map[string]string // job id -> admitted tenant, released on finish
 }
 
-// New builds the server and starts its queue workers.
-func New(cfg Config) *Server {
+// New builds the server, starts its queue workers, and — with a DataDir —
+// replays unfinished keyed jobs from the WAL. The returned error is always a
+// WAL problem (open, replay); a server without durability cannot fail.
+func New(cfg Config) (*Server, error) {
 	if cfg.MaxBodyBytes <= 0 {
 		cfg.MaxBodyBytes = 64 << 20
 	}
@@ -81,16 +108,35 @@ func New(cfg Config) *Server {
 		factory: cfg.TaskFactory,
 		logger:  cfg.Logger,
 		methods: make(map[string]string),
+		tenants: make(map[string]string),
 	}
+	s.ready.Store(true)
 	if s.factory == nil {
 		s.factory = DefaultTaskFactory(cfg.Queue.Workers)
 	}
+	if cfg.Tenant != nil {
+		s.adm = jobqueue.NewTenantAdmission(*cfg.Tenant)
+		s.metrics.registerTenants(s.adm)
+	}
 	qcfg := cfg.Queue
-	qcfg.OnFinish = s.metrics.jobFinished
+	qcfg.OnFinish = s.jobFinished
 	if qcfg.Logger == nil {
 		qcfg.Logger = cfg.Logger
 	}
 	s.q = jobqueue.New(qcfg)
+
+	if cfg.DataDir != "" {
+		wal, recs, err := jobqueue.OpenWAL(filepath.Join(cfg.DataDir, "jobs.wal"))
+		if err != nil {
+			s.q.Shutdown(context.Background())
+			return nil, err
+		}
+		s.wal = wal
+		if err := s.replay(recs); err != nil {
+			s.q.Shutdown(context.Background())
+			return nil, err
+		}
+	}
 
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/jobs", s.maxBody(cfg.MaxBodyBytes, s.handleSubmit))
@@ -98,6 +144,7 @@ func New(cfg Config) *Server {
 	mux.HandleFunc("GET /v1/jobs/{id}", s.handleGet)
 	mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleCancel)
 	mux.HandleFunc("GET /healthz", s.handleHealth)
+	mux.HandleFunc("GET /readyz", s.handleReady)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
 	if cfg.Pprof {
 		mux.HandleFunc("GET /debug/pprof/", pprof.Index)
@@ -107,7 +154,64 @@ func New(cfg Config) *Server {
 		mux.HandleFunc("GET /debug/pprof/trace", pprof.Trace)
 	}
 	s.mux = mux
-	return s
+	return s, nil
+}
+
+// jobFinished is the queue's OnFinish hook: metrics, tenant release, and the
+// WAL done record. Cancelled jobs are deliberately not marked done — a
+// drain-time cancellation must be replayed after restart, or accepted work
+// would be lost.
+func (s *Server) jobFinished(snap jobqueue.Snapshot) {
+	s.metrics.jobFinished(snap)
+	s.mu.Lock()
+	tenant, admitted := s.tenants[snap.ID]
+	delete(s.tenants, snap.ID)
+	s.mu.Unlock()
+	if admitted {
+		s.adm.Release(tenant)
+	}
+	if snap.Key != "" && snap.State != jobqueue.Cancelled {
+		if err := s.wal.Append(jobqueue.WALRecord{Type: jobqueue.WALDone, Key: snap.Key}); err != nil && s.logger != nil {
+			s.logger.Error("wal done append failed", "key", snap.Key, "err", err)
+		}
+	}
+}
+
+// replay resubmits every accepted-but-unfinished keyed job from a prior
+// incarnation. Requests that no longer validate are marked done (replaying
+// them forever would wedge every startup); everything else re-enters the
+// queue under its original key.
+func (s *Server) replay(recs []jobqueue.WALRecord) error {
+	for _, rec := range jobqueue.WALUnfinished(recs) {
+		var req SubmitRequest
+		if err := json.Unmarshal(rec.Payload, &req); err != nil {
+			return fmt.Errorf("wal replay %q: %w", rec.Key, err)
+		}
+		task, err := s.factory(&req)
+		if err != nil {
+			if s.logger != nil {
+				s.logger.Warn("wal replay: job no longer valid, marking done", "key", rec.Key, "err", err)
+			}
+			if err := s.wal.Append(jobqueue.WALRecord{Type: jobqueue.WALDone, Key: rec.Key}); err != nil {
+				return err
+			}
+			continue
+		}
+		snap, _, err := s.q.SubmitKeyed(task, jobqueue.SubmitOptions{
+			Key:     rec.Key,
+			Timeout: time.Duration(req.TimeoutMS) * time.Millisecond,
+		})
+		if err != nil {
+			return fmt.Errorf("wal replay %q: %w", rec.Key, err)
+		}
+		s.mu.Lock()
+		s.methods[snap.ID] = req.Method
+		s.mu.Unlock()
+		if s.logger != nil {
+			s.logger.Info("wal replay: resubmitted job", "key", rec.Key, "id", snap.ID)
+		}
+	}
+	return nil
 }
 
 // statusWriter captures the response status for the request log.
@@ -149,7 +253,13 @@ func (s *Server) Queue() *jobqueue.Queue { return s.q }
 // rejected with 503, running and queued jobs finish (or are cancelled when
 // ctx expires). The HTTP listener itself is the caller's to close — keep it
 // serving during the drain so clients can poll final job states.
-func (s *Server) Shutdown(ctx context.Context) error { return s.q.Shutdown(ctx) }
+func (s *Server) Shutdown(ctx context.Context) error {
+	err := s.q.Shutdown(ctx)
+	if cerr := s.wal.Close(); err == nil {
+		err = cerr
+	}
+	return err
+}
 
 func (s *Server) maxBody(limit int64, h http.HandlerFunc) http.HandlerFunc {
 	return func(w http.ResponseWriter, r *http.Request) {
@@ -189,9 +299,20 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "%v", err)
 		return
 	}
-	snap, err := s.q.Submit(task, jobqueue.SubmitOptions{
+	tenant := r.Header.Get("X-Tenant")
+	if res := s.adm.Admit(tenant); !res.OK {
+		w.Header().Set("Retry-After", jobqueue.RetryAfterSeconds(res.RetryAfter))
+		writeError(w, http.StatusTooManyRequests, "tenant over %s limit, retry later", res.Reason)
+		return
+	}
+	snap, deduped, err := s.q.SubmitKeyed(task, jobqueue.SubmitOptions{
 		Timeout: time.Duration(req.TimeoutMS) * time.Millisecond,
+		Key:     req.Key,
 	})
+	if err != nil || deduped {
+		// No new job entered the queue: the admitted slot is unused.
+		s.adm.Release(tenant)
+	}
 	switch {
 	case errors.Is(err, jobqueue.ErrQueueFull):
 		w.Header().Set("Retry-After", "1")
@@ -204,15 +325,40 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusInternalServerError, "%v", err)
 		return
 	}
+	if deduped {
+		writeJSON(w, http.StatusOK, viewOf(snap, s.methodLabel(snap.ID)))
+		return
+	}
 	s.mu.Lock()
 	s.methods[snap.ID] = req.Method
+	if s.adm != nil {
+		s.tenants[snap.ID] = tenant
+	}
 	s.mu.Unlock()
+	if req.Key != "" && s.wal != nil {
+		payload, merr := json.Marshal(&req)
+		if merr == nil {
+			merr = s.wal.Append(jobqueue.WALRecord{Type: jobqueue.WALAccept, Key: req.Key, Payload: payload})
+		}
+		if merr != nil && s.logger != nil {
+			s.logger.Error("wal accept append failed", "key", req.Key, "err", merr)
+		}
+	}
 	writeJSON(w, http.StatusAccepted, viewOf(snap, req.Method))
 }
 
 func (s *Server) handleList(w http.ResponseWriter, r *http.Request) {
-	snaps := s.q.List()
-	resp := ListResponse{Jobs: make([]JobView, 0, len(snaps))}
+	limit := 0
+	if v := r.URL.Query().Get("limit"); v != "" {
+		n, err := strconv.Atoi(v)
+		if err != nil || n < 0 {
+			writeError(w, http.StatusBadRequest, "bad limit %q", v)
+			return
+		}
+		limit = n
+	}
+	snaps, next := s.q.ListPage(r.URL.Query().Get("after"), limit)
+	resp := ListResponse{Jobs: make([]JobView, 0, len(snaps)), NextAfter: next}
 	for _, snap := range snaps {
 		v := viewOf(snap, s.methodLabel(snap.ID))
 		v.Report = nil // keep the listing light; fetch one job for the report
@@ -247,6 +393,22 @@ func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
 
 func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
 	if s.q.Draining() {
+		writeJSON(w, http.StatusServiceUnavailable, map[string]string{"status": "draining"})
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}
+
+// SetReady flips the /readyz readiness signal. pilfilld calls SetReady(false)
+// at SIGTERM, before the queue drain starts, so routers see "not ready"
+// while in-flight jobs are still finishing cleanly.
+func (s *Server) SetReady(ready bool) { s.ready.Store(ready) }
+
+// handleReady is the routing signal: distinct from /healthz (liveness, which
+// stays 200 until the process is truly unable to serve) so a draining worker
+// is taken out of rotation without being restarted.
+func (s *Server) handleReady(w http.ResponseWriter, r *http.Request) {
+	if !s.ready.Load() || s.q.Draining() {
 		writeJSON(w, http.StatusServiceUnavailable, map[string]string{"status": "draining"})
 		return
 	}
@@ -301,6 +463,9 @@ func DefaultTaskFactory(queueWorkers int) func(req *SubmitRequest) (jobqueue.Tas
 // propagates through Session.RunContext to the tile loops and ILP node
 // loops.
 func defaultTask(req *SubmitRequest, queueWorkers int) (jobqueue.Task, error) {
+	if req.Region != nil {
+		return regionTask(req, queueWorkers)
+	}
 	m, ok := ParseMethod(req.Method)
 	if !ok {
 		return nil, fmt.Errorf("unknown method %q", req.Method)

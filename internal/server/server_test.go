@@ -21,7 +21,10 @@ import (
 
 func startServer(t *testing.T, cfg server.Config) (*server.Server, *httptest.Server) {
 	t.Helper()
-	s := server.New(cfg)
+	s, err := server.New(cfg)
+	if err != nil {
+		t.Fatalf("server.New: %v", err)
+	}
 	ts := httptest.NewServer(s)
 	t.Cleanup(func() {
 		ts.Close()
