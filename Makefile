@@ -33,10 +33,13 @@ cluster-smoke:
 bench:
 	$(GO) test -bench 'EnginePreprocess' -benchtime 10x -run '^$$' .
 
-# Solver-core comparison (current vs row-based baseline): runs the
-# BenchmarkILPI/BenchmarkILPII/BenchmarkSimplex microbenchmarks and writes
-# the node/pivot work comparison to BENCH_solver.json, failing below the 2x
-# work-reduction floor. bench-solver-short is the single-case CI variant.
+# Solver-core comparison (current vs row-based baseline, plus the DualAscent
+# path): runs the BenchmarkILPI/BenchmarkILPII/BenchmarkSimplex
+# microbenchmarks and writes the node/pivot work comparison — with each
+# path's pivots==0 fraction, the dual fallback rate, and bit-equality checks
+# of the dual objective against the ILP optima — to BENCH_solver.json,
+# failing below the 2x work-reduction or 5x dual wall-time floors.
+# bench-solver-short is the single-case CI variant.
 bench-solver:
 	$(GO) test -bench 'ILPI$$|ILPII$$|Simplex' -benchtime 2x -run '^$$' .
 	$(GO) run ./cmd/benchsolver -check -o BENCH_solver.json
@@ -47,7 +50,8 @@ bench-solver-short:
 # End-to-end engine benchmark (pooled steady-state vs allocating path): per
 # method tiles/sec, ns/tile and allocs/op plus the ILP-II worker-scaling
 # curve, written to BENCH_engine.json. Fails below the 5x allocation-
-# reduction floor or on any pooled-vs-unpooled result divergence.
+# reduction floor, below the 5x DualAscent solve-phase ns/tile reduction
+# over ILP-II, or on any pooled-vs-unpooled result divergence.
 # bench-engine-short is the single-case CI variant (no scaling sweep).
 bench-engine:
 	$(GO) run ./cmd/benchengine -check -o BENCH_engine.json

@@ -20,8 +20,10 @@
 // (LPT) work queue gets to perfect scheduling.
 //
 // With -check the run exits 1 unless the ILP-I and ILP-II pooled paths
-// allocate at least 5x less than unpooled (the PR's acceptance floor) and
-// every identity check passed.
+// allocate at least 5x less than unpooled, DualAscent's solve-phase ns/tile
+// is at least 5x below ILP-II's (its certificate replaces the
+// branch-and-bound search entirely on convex tiles), and every identity
+// check passed.
 package main
 
 import (
@@ -54,20 +56,25 @@ func (c benchCase) name() string { return fmt.Sprintf("%s/%d/%d", c.Testcase, c.
 
 var methods = []core.Method{
 	core.Normal, core.Greedy, core.MarginalGreedy, core.DP, core.ILPI, core.ILPII,
+	core.DualAscent,
 }
 
 // PathStats is one measured engine path (pooled or unpooled) over a case:
 // per-tile time and allocation figures averaged over the measurement runs.
 type PathStats struct {
-	NSPerTile    float64 `json:"ns_per_tile"`
-	TilesPerSec  float64 `json:"tiles_per_sec"`
-	AllocsPerOp  float64 `json:"allocs_per_op"` // heap allocations per tile solve
-	BytesPerOp   float64 `json:"bytes_per_op"`  // heap bytes per tile solve
-	SolveCPUNS   int64   `json:"solve_cpu_ns"`
-	WallNS       int64   `json:"wall_ns"`
-	TotalAllocs  uint64  `json:"total_allocs"`
-	TotalBytes   uint64  `json:"total_bytes"`
-	MeasuredRuns int     `json:"measured_runs"`
+	NSPerTile float64 `json:"ns_per_tile"`
+	// SolveNSPerTile is the solve phase alone (Result.CPU over tiles): the
+	// share of NSPerTile a method can actually influence, excluding the
+	// placement/accounting overhead every method pays identically.
+	SolveNSPerTile float64 `json:"solve_ns_per_tile"`
+	TilesPerSec    float64 `json:"tiles_per_sec"`
+	AllocsPerOp    float64 `json:"allocs_per_op"` // heap allocations per tile solve
+	BytesPerOp     float64 `json:"bytes_per_op"`  // heap bytes per tile solve
+	SolveCPUNS     int64   `json:"solve_cpu_ns"`
+	WallNS         int64   `json:"wall_ns"`
+	TotalAllocs    uint64  `json:"total_allocs"`
+	TotalBytes     uint64  `json:"total_bytes"`
+	MeasuredRuns   int     `json:"measured_runs"`
 }
 
 // MethodResult compares the pooled and unpooled paths for one method.
@@ -110,13 +117,26 @@ type Output struct {
 	// Worst-case (minimum) alloc reduction over all cases for the floors.
 	ILPIAllocReduction  float64 `json:"ilp1_alloc_reduction"`
 	ILPIIAllocReduction float64 `json:"ilp2_alloc_reduction"`
+	// Worst-case (minimum) DualAscent ns/tile reduction over the ILP methods'
+	// pooled paths. The solve-phase ILP-II figure is a CI floor (>= 5x under
+	// -check): the solve phase is the share of per-tile time the method can
+	// influence, so flooring the total — which includes ~1us of placement
+	// and accounting overhead paid identically by every method — would gate
+	// the PR on overhead the solver cannot touch. The total-path figures and
+	// the ILP-I figure are recorded for the paper tables but not floored;
+	// ILP-I solves a linearized (cheaper, inexact) program, so beating it by
+	// a fixed factor is not part of the method's claim.
+	DualNSReductionILPI       float64 `json:"dual_ns_reduction_vs_ilp1"`
+	DualNSReductionILPII      float64 `json:"dual_ns_reduction_vs_ilp2"`
+	DualSolveNSReductionILPII float64 `json:"dual_solve_ns_reduction_vs_ilp2"`
 }
 
 // identical compares everything deterministic that two runs report.
 func identical(a, b *core.Result) bool {
 	if a.Unweighted != b.Unweighted || a.Weighted != b.Weighted ||
 		a.Placed != b.Placed || a.Requested != b.Requested || a.Tiles != b.Tiles ||
-		a.ILPNodes != b.ILPNodes || a.LPPivots != b.LPPivots {
+		a.ILPNodes != b.ILPNodes || a.LPPivots != b.LPPivots ||
+		a.DualFallbacks != b.DualFallbacks {
 		return false
 	}
 	for n := range a.PerNet {
@@ -173,6 +193,7 @@ func measurePath(eng *core.Engine, m core.Method, instances []*core.Instance, ru
 	st.AllocsPerOp = float64(st.TotalAllocs) / ops
 	st.BytesPerOp = float64(st.TotalBytes) / ops
 	st.NSPerTile = float64(wall.Nanoseconds()) / ops
+	st.SolveNSPerTile = float64(cpu.Nanoseconds()) / ops
 	st.TilesPerSec = ops / wall.Seconds()
 	return st, res, nil
 }
@@ -309,11 +330,14 @@ func main() {
 	}
 
 	doc := Output{
-		Generated:           time.Now().UTC().Format(time.RFC3339),
-		Short:               *short,
-		GoMaxProc:           runtime.GOMAXPROCS(0),
-		ILPIAllocReduction:  math.Inf(1),
-		ILPIIAllocReduction: math.Inf(1),
+		Generated:                 time.Now().UTC().Format(time.RFC3339),
+		Short:                     *short,
+		GoMaxProc:                 runtime.GOMAXPROCS(0),
+		ILPIAllocReduction:        math.Inf(1),
+		ILPIIAllocReduction:       math.Inf(1),
+		DualNSReductionILPI:       math.Inf(1),
+		DualNSReductionILPII:      math.Inf(1),
+		DualSolveNSReductionILPII: math.Inf(1),
 	}
 	for _, c := range cases {
 		res, err := runCase(c, *runs, *short)
@@ -321,13 +345,27 @@ func main() {
 			fail("%v", err)
 		}
 		doc.Cases = append(doc.Cases, res)
+		var ilp1NS, ilp2NS, ilp2SolveNS, dualNS, dualSolveNS float64
 		for _, mr := range res.Methods {
 			switch mr.Method {
 			case core.ILPI.String():
 				doc.ILPIAllocReduction = math.Min(doc.ILPIAllocReduction, mr.AllocReduction)
+				ilp1NS = mr.Pooled.NSPerTile
 			case core.ILPII.String():
 				doc.ILPIIAllocReduction = math.Min(doc.ILPIIAllocReduction, mr.AllocReduction)
+				ilp2NS = mr.Pooled.NSPerTile
+				ilp2SolveNS = mr.Pooled.SolveNSPerTile
+			case core.DualAscent.String():
+				dualNS = mr.Pooled.NSPerTile
+				dualSolveNS = mr.Pooled.SolveNSPerTile
 			}
+		}
+		if dualNS > 0 {
+			doc.DualNSReductionILPI = math.Min(doc.DualNSReductionILPI, ilp1NS/dualNS)
+			doc.DualNSReductionILPII = math.Min(doc.DualNSReductionILPII, ilp2NS/dualNS)
+			doc.DualSolveNSReductionILPII = math.Min(doc.DualSolveNSReductionILPII, ilp2SolveNS/dualSolveNS)
+			fmt.Fprintf(os.Stderr, "%-10s DualAscent ns/tile reduction: %.2fx vs ILP-I, %.2fx vs ILP-II (%.2fx solve phase)\n",
+				res.Case, ilp1NS/dualNS, ilp2NS/dualNS, ilp2SolveNS/dualSolveNS)
 		}
 	}
 
@@ -345,5 +383,9 @@ func main() {
 	if *check && (doc.ILPIAllocReduction < 5 || doc.ILPIIAllocReduction < 5) {
 		fail("alloc reduction below 5x: ILP-I %.1fx, ILP-II %.1fx",
 			doc.ILPIAllocReduction, doc.ILPIIAllocReduction)
+	}
+	if *check && doc.DualSolveNSReductionILPII < 5 {
+		fail("DualAscent solve ns/tile reduction over ILP-II below 5x: %.2fx",
+			doc.DualSolveNSReductionILPII)
 	}
 }

@@ -73,6 +73,20 @@ func TestRunContextDeadlineMidSolve(t *testing.T) {
 	}
 }
 
+func TestRunContextPreCancelledDualAscent(t *testing.T) {
+	// DualAscent honors cancellation inside the dual sweep itself (per hull
+	// column and per λ-breakpoint batch), not only at tile boundaries.
+	s := t2Session(t, Options{Seed: 1})
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := s.RunContext(ctx, DualAscent); !errors.Is(err, context.Canceled) {
+		t.Fatalf("pre-cancelled RunContext err = %v, want context.Canceled", err)
+	}
+	if _, err := s.RunContext(context.Background(), DualAscent); err != nil {
+		t.Fatalf("run after cancelled run: %v", err)
+	}
+}
+
 func TestRunMVDCContextCancelled(t *testing.T) {
 	s := t2Session(t, Options{Seed: 1})
 	ctx, cancel := context.WithCancel(context.Background())

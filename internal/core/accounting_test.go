@@ -27,7 +27,7 @@ func perNetSum(t *testing.T, res *Result, label string) {
 }
 
 func TestPerNetSumMatchesUnweighted(t *testing.T) {
-	methods := []Method{Normal, Greedy, ILPI, ILPII, DP, MarginalGreedy, GreedyCapped}
+	methods := []Method{Normal, Greedy, ILPI, ILPII, DP, MarginalGreedy, GreedyCapped, DualAscent}
 	for _, tc := range []struct {
 		name     string
 		activity func(nets int) []float64
@@ -85,6 +85,9 @@ func resultsIdentical(t *testing.T, a, b *Result, label string) {
 	}
 	if a.Placed != b.Placed || a.Requested != b.Requested || a.Tiles != b.Tiles {
 		t.Errorf("%s: counts differ", label)
+	}
+	if a.DualFallbacks != b.DualFallbacks {
+		t.Errorf("%s: dual fallbacks differ: %d vs %d", label, a.DualFallbacks, b.DualFallbacks)
 	}
 	for n := range a.PerNet {
 		if a.PerNet[n] != b.PerNet[n] {

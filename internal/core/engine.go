@@ -24,9 +24,11 @@ import (
 type Method int
 
 // Placement methods. Normal is the density-only baseline; Greedy, ILPI and
-// ILPII are the paper's three approaches; DP, MarginalGreedy and
-// GreedyCapped are this implementation's extensions (exact reference,
-// provably-optimal greedy, and the footnote's bounded-net-delay variant).
+// ILPII are the paper's three approaches; DP, MarginalGreedy, GreedyCapped
+// and DualAscent are this implementation's extensions (exact reference,
+// provably-optimal greedy, the footnote's bounded-net-delay variant, and the
+// certificate-checked Lagrangian exact solver — ILP-II's optimum without its
+// branch-and-bound on most tiles, see dual.go).
 const (
 	Normal Method = iota
 	Greedy
@@ -35,6 +37,7 @@ const (
 	DP
 	MarginalGreedy
 	GreedyCapped
+	DualAscent
 )
 
 // String names the method as in the paper's tables.
@@ -54,6 +57,8 @@ func (m Method) String() string {
 		return "MarginalGreedy"
 	case GreedyCapped:
 		return "GreedyCapped"
+	case DualAscent:
+		return "DualAscent"
 	}
 	return fmt.Sprintf("Method(%d)", int(m))
 }
@@ -70,6 +75,12 @@ type Config struct {
 	// in seconds (interconnect deltas are femtoseconds, far below what
 	// time.Duration can represent). 0 disables the bound.
 	NetCap float64
+	// DualGapTol is the DualAscent certificate's relative duality-gap
+	// acceptance threshold; 0 selects DualGapTolDefault (1e-9). Assignments
+	// whose gap exceeds it fall back to branch-and-bound, so loosening the
+	// knob trades certainty for speed only through the fallback rate, never
+	// through accepted-but-unproven results beyond the threshold.
+	DualGapTol float64
 	// Activity optionally holds per-net switching activities in [0, 1] for
 	// crosstalk-aware costing (after Kahng/Muddu/Sarto's switch factors):
 	// the coupling a column adds to a victim line is scaled by
@@ -457,6 +468,11 @@ type Result struct {
 	// net cap is configured.
 	IncumbentsRepaired int
 	IncumbentsDropped  int
+	// DualFallbacks counts DualAscent tiles whose optimality certificate did
+	// not close (duality gap above Config.DualGapTol, or a per-net cap
+	// violated by the certified assignment) and that were re-solved by
+	// branch-and-bound. Always zero for other methods.
+	DualFallbacks int
 }
 
 // solveStats carries one tile solve's deterministic by-products: search
@@ -465,6 +481,7 @@ type Result struct {
 type solveStats struct {
 	nodes, pivots           int
 	incRepaired, incDropped bool
+	dualFallback            bool
 }
 
 // ilpOpts copies the configured branch-and-bound limits and, when the
@@ -572,6 +589,16 @@ func (e *Engine) solveInstance(ctx context.Context, method Method, in *Instance,
 			st.incRepaired, st.incDropped = g.IncumbentRepaired, g.IncumbentDropped
 		}
 		return a, st, err
+	case DualAscent:
+		var nc *NetCap
+		if e.Cfg.NetCap > 0 {
+			nc = &NetCap{MaxAddedDelay: e.Cfg.NetCap}
+		}
+		a, _, st, err := solveDualFull(ctx, in, e.solveOpts(ctx, in, lane, span), nc, e.dualGapTol())
+		if ctxErr := ctx.Err(); ctxErr != nil {
+			return nil, solveStats{}, ctxErr
+		}
+		return a, st, err
 	default:
 		return nil, st, fmt.Errorf("core: unknown method %v", method)
 	}
@@ -621,6 +648,14 @@ func (e *Engine) solveInstancePooled(ctx context.Context, method Method, in *Ins
 		sc.opts = *base
 		e.addProgress(ctx, &sc.opts, in, lane, span)
 		st, err := sc.solveILPII(in, &sc.opts, nc, a)
+		if ctxErr := ctx.Err(); ctxErr != nil {
+			return solveStats{}, ctxErr
+		}
+		return st, err
+	case DualAscent:
+		sc.opts = *base
+		e.addProgress(ctx, &sc.opts, in, lane, span)
+		st, err := sc.solveDual(ctx, in, &sc.opts, nc, e.dualGapTol(), a)
 		if ctxErr := ctx.Err(); ctxErr != nil {
 			return solveStats{}, ctxErr
 		}
@@ -735,7 +770,8 @@ func (e *Engine) RunContext(ctx context.Context, method Method, instances []*Ins
 					outs[i].a = append([]int(nil), ent.a...)
 				}
 				st = solveStats{nodes: ent.nodes, pivots: ent.pivots,
-					incRepaired: ent.incRepaired, incDropped: ent.incDropped}
+					incRepaired: ent.incRepaired, incDropped: ent.incDropped,
+					dualFallback: ent.dualFallback}
 				hit = true
 			}
 		}
@@ -747,7 +783,7 @@ func (e *Engine) RunContext(ctx context.Context, method Method, instances []*Ins
 				outs[i].a, st, err = e.solveInstance(ctx, method, in, lane, solve.ID())
 			}
 			if memo != nil && err == nil {
-				memo.store(key, outs[i].a, st.nodes, st.pivots, st.incRepaired, st.incDropped)
+				memo.store(key, outs[i].a, st)
 			}
 		}
 		solve.Arg("nodes", int64(st.nodes))
@@ -800,6 +836,9 @@ func (e *Engine) RunContext(ctx context.Context, method Method, instances []*Ins
 		}
 		if o.st.incDropped {
 			res.IncumbentsDropped++
+		}
+		if o.st.dualFallback {
+			res.DualFallbacks++
 		}
 		res.Phases.Solve += o.dur
 		if o.dur > res.LongestSolve {

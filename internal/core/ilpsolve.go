@@ -401,18 +401,29 @@ func repairIncumbent(in *Instance, netCap *NetCap, a Assignment, sc *SolveScratc
 	for k, m := range a {
 		charge(k, m, 1)
 	}
+	// The set of nets a cap can bind on is fixed by the instance, so it is
+	// collected once (ascending, distinct) instead of rescanning every
+	// column's two bounding nets on each shed pass. Scanning the ascending
+	// list and stopping at the first over-budget entry picks the same
+	// minimum-index over-budget net the per-column scan did.
+	nets := sc.repairNetsBuf()
+	for k := range in.Columns {
+		cv := &in.Columns[k]
+		if capped(cv.NetLow) {
+			nets = appendNetOnce(nets, cv.NetLow)
+		}
+		if capped(cv.NetHigh) {
+			nets = appendNetOnce(nets, cv.NetHigh)
+		}
+	}
+	sc.repairNetsOut(nets)
 	overNet := func() int {
-		worst := -1
-		for k := range in.Columns {
-			cv := &in.Columns[k]
-			for _, net := range [2]int{cv.NetLow, cv.NetHigh} {
-				if capped(net) && spend[net] > netCap.budgetFor(net) &&
-					(worst < 0 || net < worst) {
-					worst = net
-				}
+		for _, net := range nets {
+			if spend[net] > netCap.budgetFor(net) {
+				return net
 			}
 		}
-		return worst
+		return -1
 	}
 
 	deficit := 0

@@ -38,11 +38,12 @@ type memoKey [sha256.Size]byte
 // by-products a fresh solve would report, replayed on every hit so memo-on
 // and memo-off runs stay bit-identical.
 type memoEntry struct {
-	a           []int
-	nodes       int
-	pivots      int
-	incRepaired bool
-	incDropped  bool
+	a            []int
+	nodes        int
+	pivots       int
+	incRepaired  bool
+	incDropped   bool
+	dualFallback bool
 }
 
 const memoShards = 16
@@ -97,13 +98,14 @@ func (c *SolveMemo) lookup(key memoKey) *memoEntry {
 // store records a solved entry, copying the assignment so cache state never
 // aliases a run's slab. A concurrent store of the same key wins the write
 // race harmlessly: both entries hold identical results.
-func (c *SolveMemo) store(key memoKey, a []int, nodes, pivots int, incRepaired, incDropped bool) {
+func (c *SolveMemo) store(key memoKey, a []int, st solveStats) {
 	e := &memoEntry{
-		a:           append([]int(nil), a...),
-		nodes:       nodes,
-		pivots:      pivots,
-		incRepaired: incRepaired,
-		incDropped:  incDropped,
+		a:            append([]int(nil), a...),
+		nodes:        st.nodes,
+		pivots:       st.pivots,
+		incRepaired:  st.incRepaired,
+		incDropped:   st.incDropped,
+		dualFallback: st.dualFallback,
 	}
 	s := c.shard(key)
 	s.mu.Lock()
@@ -167,10 +169,11 @@ func memoizable(method Method, opts *ilp.Options) bool {
 // and activity scaling all reach the solver only through the curves and
 // scaled resistances, which the fingerprint serializes directly.
 type fingerprintConfig struct {
-	method   Method
-	netCap   float64 // Config.NetCap (GreedyCapped and ILP-II cap rows)
-	maxNodes int     // ILPOpts.MaxNodes (limits change Feasible-vs-Optimal outcomes)
-	intTol   float64 // ILPOpts.IntTol (changes incumbent acceptance)
+	method     Method
+	netCap     float64 // Config.NetCap (GreedyCapped, ILP-II and DualAscent cap rows)
+	maxNodes   int     // ILPOpts.MaxNodes (limits change Feasible-vs-Optimal outcomes)
+	intTol     float64 // ILPOpts.IntTol (changes incumbent acceptance)
+	dualGapTol float64 // resolved Config.DualGapTol (changes DualAscent's fallback set)
 }
 
 func (e *Engine) fingerprintConfig(method Method) fingerprintConfig {
@@ -179,12 +182,16 @@ func (e *Engine) fingerprintConfig(method Method) fingerprintConfig {
 		netCap:   e.Cfg.NetCap,
 		maxNodes: e.Cfg.ILPOpts.MaxNodes,
 		intTol:   e.Cfg.ILPOpts.IntTol,
+		// The resolved threshold, so DualGapTol 0 and an explicit 1e-9 (which
+		// behave identically) hash identically too.
+		dualGapTol: e.dualGapTol(),
 	}
 }
 
 // fpVersion guards against stale entries if the serialization ever changes
 // within a process's lifetime (it cannot today; the byte is cheap insurance).
-const fpVersion = 1
+// v2: dualGapTol joined the config prefix.
+const fpVersion = 2
 
 func fpPutU64(buf []byte, v uint64) []byte {
 	return binary.LittleEndian.AppendUint64(buf, v)
@@ -217,6 +224,7 @@ func fingerprintInstance(buf []byte, netScratch []int, in *Instance, fc fingerpr
 	buf = fpPutF64(buf, fc.netCap)
 	buf = fpPutInt(buf, fc.maxNodes)
 	buf = fpPutF64(buf, fc.intTol)
+	buf = fpPutF64(buf, fc.dualGapTol)
 	buf = fpPutInt(buf, in.F)
 	buf = fpPutInt(buf, len(in.Columns))
 

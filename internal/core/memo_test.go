@@ -171,7 +171,7 @@ func TestMemoOnOffBitIdentical(t *testing.T) {
 	insOff := mustInstances(t, off, budget)
 	insOn := mustInstances(t, on, budget)
 	insPO := mustInstances(t, pooledOff, budget)
-	for _, m := range []Method{Greedy, ILPI, ILPII, DP, MarginalGreedy, GreedyCapped} {
+	for _, m := range []Method{Greedy, ILPI, ILPII, DP, MarginalGreedy, GreedyCapped, DualAscent} {
 		rOff, err := off.Run(m, insOff)
 		if err != nil {
 			t.Fatal(err)

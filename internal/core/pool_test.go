@@ -7,7 +7,7 @@ import (
 	"pilfill/internal/scanline"
 )
 
-var allMethods = []Method{Normal, Greedy, GreedyCapped, MarginalGreedy, DP, ILPI, ILPII}
+var allMethods = []Method{Normal, Greedy, GreedyCapped, MarginalGreedy, DP, ILPI, ILPII, DualAscent}
 
 // requireResultsIdentical compares everything a Result reports that is
 // supposed to be deterministic: objective values bit-for-bit, counts, search
@@ -25,6 +25,9 @@ func requireResultsIdentical(t *testing.T, label string, got, want *Result) {
 	if got.ILPNodes != want.ILPNodes || got.LPPivots != want.LPPivots {
 		t.Errorf("%s: search effort differs: %d nodes/%d pivots vs %d/%d",
 			label, got.ILPNodes, got.LPPivots, want.ILPNodes, want.LPPivots)
+	}
+	if got.DualFallbacks != want.DualFallbacks {
+		t.Errorf("%s: dual fallbacks differ: %d vs %d", label, got.DualFallbacks, want.DualFallbacks)
 	}
 	for n := range want.PerNet {
 		if got.PerNet[n] != want.PerNet[n] {

@@ -1,6 +1,8 @@
 package core
 
 import (
+	"math/rand"
+	"slices"
 	"testing"
 
 	"pilfill/internal/ilp"
@@ -102,6 +104,157 @@ func TestRepairIncumbentNoChangeWhenFeasible(t *testing.T) {
 	}
 	if g.Incumbent == nil {
 		t.Error("feasible incumbent not encoded")
+	}
+}
+
+// repairIncumbentRef is the pre-optimization reference implementation of
+// repairIncumbent, kept verbatim (minus the scratch plumbing): the
+// over-budget net is found by rescanning every column's two bounding nets on
+// each shed pass. The regression test below pins the hoisted version to it.
+func repairIncumbentRef(in *Instance, netCap *NetCap, a Assignment) (repaired, ok bool) {
+	spend := map[int]float64{}
+	capped := func(net int) bool { return net >= 0 && netCap.budgetFor(net) > 0 }
+	charge := func(k, m int, sign float64) {
+		cv := &in.Columns[k]
+		if m <= 0 || cv.DeltaC == nil {
+			return
+		}
+		dc := cv.DeltaC[m] * sign
+		if capped(cv.NetLow) {
+			spend[cv.NetLow] += dc * cv.REffLow
+		}
+		if capped(cv.NetHigh) {
+			spend[cv.NetHigh] += dc * cv.REffHigh
+		}
+	}
+	for k, m := range a {
+		charge(k, m, 1)
+	}
+	overNet := func() int {
+		worst := -1
+		for k := range in.Columns {
+			cv := &in.Columns[k]
+			for _, net := range [2]int{cv.NetLow, cv.NetHigh} {
+				if capped(net) && spend[net] > netCap.budgetFor(net) &&
+					(worst < 0 || net < worst) {
+					worst = net
+				}
+			}
+		}
+		return worst
+	}
+
+	deficit := 0
+	for {
+		net := overNet()
+		if net < 0 {
+			break
+		}
+		best := -1
+		bestCost := 0.0
+		for k, m := range a {
+			cv := &in.Columns[k]
+			if m <= 0 || cv.DeltaC == nil || (cv.NetLow != net && cv.NetHigh != net) {
+				continue
+			}
+			mc := cv.costAt(m) - cv.costAt(m-1)
+			if best < 0 || mc > bestCost {
+				best, bestCost = k, mc
+			}
+		}
+		if best < 0 {
+			return true, false
+		}
+		charge(best, a[best], -1)
+		a[best]--
+		charge(best, a[best], 1)
+		deficit++
+	}
+	if deficit == 0 {
+		return false, true
+	}
+	for ; deficit > 0; deficit-- {
+		best := -1
+		bestCost := 0.0
+		for k, m := range a {
+			cv := &in.Columns[k]
+			if m >= cv.MaxM {
+				continue
+			}
+			if cv.DeltaC != nil {
+				dc := cv.DeltaC[m+1] - cv.DeltaC[m]
+				if capped(cv.NetLow) && spend[cv.NetLow]+dc*cv.REffLow > netCap.budgetFor(cv.NetLow) {
+					continue
+				}
+				if capped(cv.NetHigh) && spend[cv.NetHigh]+dc*cv.REffHigh > netCap.budgetFor(cv.NetHigh) {
+					continue
+				}
+			}
+			mc := cv.costAt(m+1) - cv.costAt(m)
+			if best < 0 || mc < bestCost {
+				best, bestCost = k, mc
+			}
+		}
+		if best < 0 {
+			return true, false
+		}
+		charge(best, a[best], -1)
+		a[best]++
+		charge(best, a[best], 1)
+	}
+	return true, true
+}
+
+func TestRepairIncumbentMatchesReference(t *testing.T) {
+	// The hoisted capped-net list must leave repair behavior bit-identical:
+	// same repaired/ok verdicts and the same assignment, across random
+	// instances whose marginal-greedy incumbents violate randomly tight caps.
+	rng := rand.New(rand.NewSource(23))
+	sc := NewSolveScratch()
+	checked := 0
+	for trial := 0; trial < 400; trial++ {
+		in := synthInstance(rng, 2+rng.Intn(10))
+		if in.F == 0 || len(in.Columns) == 0 {
+			continue
+		}
+		inc := SolveMarginalGreedy(in)
+		// Cap each net at a random fraction of what the incumbent spends on
+		// it, so shed (and often refill or drop) paths all get exercised.
+		spent := map[int]float64{}
+		for k, m := range inc {
+			cv := &in.Columns[k]
+			if m <= 0 || cv.DeltaC == nil {
+				continue
+			}
+			if cv.NetLow >= 0 {
+				spent[cv.NetLow] += cv.DeltaC[m] * cv.REffLow
+			}
+			if cv.NetHigh >= 0 {
+				spent[cv.NetHigh] += cv.DeltaC[m] * cv.REffHigh
+			}
+		}
+		nc := &NetCap{PerNet: make([]float64, 3)}
+		for net, s := range spent {
+			nc.PerNet[net] = s * rng.Float64()
+		}
+
+		aNew := slices.Clone(inc)
+		aRef := slices.Clone(inc)
+		repNew, okNew := repairIncumbent(in, nc, aNew, sc)
+		repRef, okRef := repairIncumbentRef(in, nc, aRef)
+		if repNew != repRef || okNew != okRef {
+			t.Fatalf("trial %d: verdict (repaired=%v ok=%v), reference (repaired=%v ok=%v)",
+				trial, repNew, okNew, repRef, okRef)
+		}
+		if !slices.Equal(aNew, aRef) {
+			t.Fatalf("trial %d: assignment %v, reference %v", trial, aNew, aRef)
+		}
+		if repNew {
+			checked++
+		}
+	}
+	if checked < 50 {
+		t.Fatalf("only %d trials actually repaired — caps not tight enough to regress anything", checked)
 	}
 }
 

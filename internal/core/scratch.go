@@ -42,16 +42,25 @@ type SolveScratch struct {
 	tmpA     Assignment // ILP-II incumbent assignment
 
 	// Heuristic-solver buffers.
-	keys  []costKey
-	mheap marginalHeap
-	slots []int
-	spent map[int]float64
-	rng   *rand.Rand
+	keys       []costKey
+	mheap      marginalHeap
+	slots      []int
+	spent      map[int]float64
+	repairNets []int // repairIncumbent's distinct capped-net list
+	rng        *rand.Rand
 
 	// DP buffers.
 	dpA, dpB    []float64
 	choiceArena []int32
 	choiceRows  [][]int32
+
+	// Dual-ascent buffers (see dual.go): the per-unit convexified-marginal
+	// arena, the hull-vertex flag arena, per-column offsets into both, and
+	// the monotone-chain hull stack.
+	dualMarg []float64
+	dualVert []bool
+	dualOff  []int
+	dualHull []int32
 
 	// Solve-memo fingerprint buffers (serialization bytes and the canonical
 	// net-ranking scratch), reused across the worker's tiles.
@@ -244,6 +253,22 @@ func (sc *SolveScratch) assignBuf(n int) Assignment {
 		sc.tmpA[i] = 0
 	}
 	return sc.tmpA
+}
+
+// repairNetsBuf returns the empty capped-net list buffer; callers hand the
+// regrown slice back through repairNetsOut. Nil-safe.
+func (sc *SolveScratch) repairNetsBuf() []int {
+	if sc == nil {
+		return nil
+	}
+	return sc.repairNets[:0]
+}
+
+// repairNetsOut stores the regrown capped-net list back in the scratch.
+func (sc *SolveScratch) repairNetsOut(nets []int) {
+	if sc != nil {
+		sc.repairNets = nets
+	}
 }
 
 // spentMap returns an empty per-net spend map, reused when possible.

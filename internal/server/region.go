@@ -189,6 +189,7 @@ func regionTask(req *SubmitRequest, queueWorkers int) (jobqueue.Task, error) {
 			Weighted:    o.Weighted,
 			Seed:        o.Seed,
 			NetCap:      o.NetCapPS * 1e-12,
+			DualGapTol:  o.DualGapTol,
 			Workers:     o.Workers,
 			Grounded:    o.Grounded,
 			NoSolveMemo: o.NoSolveMemo,

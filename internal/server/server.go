@@ -533,6 +533,7 @@ func defaultTask(req *SubmitRequest, queueWorkers int) (jobqueue.Task, error) {
 			Grounded:     o.Grounded,
 			ILPNodeLimit: o.ILPNodeLimit,
 			NoSolveMemo:  o.NoSolveMemo,
+			DualGapTol:   o.DualGapTol,
 		})
 		if err != nil {
 			return nil, fmt.Errorf("prepare session: %w", err)

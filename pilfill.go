@@ -9,8 +9,9 @@
 // Elmore-delay impact on the active wiring is minimized. The paper's three
 // methods (Greedy, ILP-I, ILP-II) plus the density-only Normal baseline and
 // this implementation's exact/ablation solvers (DP, MarginalGreedy,
-// GreedyCapped) are all available and place identical fill *amounts* per
-// tile — density control is the same, only delay impact differs.
+// GreedyCapped, DualAscent) are all available and place identical fill
+// *amounts* per tile — density control is the same, only delay impact
+// differs.
 //
 // Basic use:
 //
@@ -54,6 +55,7 @@ const (
 	DP             = core.DP
 	MarginalGreedy = core.MarginalGreedy
 	GreedyCapped   = core.GreedyCapped
+	DualAscent     = core.DualAscent
 )
 
 // Method selects a placement algorithm (see the constants above).
@@ -96,8 +98,11 @@ type Options struct {
 	// ILPNodeLimit caps branch-and-bound nodes per tile (0 = default).
 	ILPNodeLimit int
 	// NetCap bounds each net's added delay per tile, in seconds, for
-	// GreedyCapped and ILP-II (0 = off).
+	// GreedyCapped, ILP-II and DualAscent (0 = off).
 	NetCap float64
+	// DualGapTol is DualAscent's relative duality-gap acceptance threshold;
+	// 0 selects the default (1e-9). See core.Config.DualGapTol.
+	DualGapTol float64
 	// Activity holds optional per-net switching activities in [0, 1] for
 	// crosstalk-aware costing (switch-factor model); nil = quiet neighbors.
 	Activity []float64
@@ -183,6 +188,7 @@ func NewSession(l *layout.Layout, opts Options) (*Session, error) {
 		Weighted:      o.Weighted,
 		Seed:          o.Seed,
 		NetCap:        o.NetCap,
+		DualGapTol:    o.DualGapTol,
 		Activity:      o.Activity,
 		Workers:       o.Workers,
 		Grounded:      o.Grounded,
