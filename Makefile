@@ -4,9 +4,9 @@ GO ?= go
 VERSION ?= $(shell git describe --tags --always --dirty 2>/dev/null || echo dev)
 LDFLAGS := -ldflags "-X pilfill/internal/obs.Version=$(VERSION)"
 
-.PHONY: ci fmt vet build test race cluster-smoke bench bench-solver bench-solver-short bench-engine bench-engine-short bench-chip bench-chip-short trace-smoke serve
+.PHONY: ci fmt vet build test race cluster-smoke bench bench-solver bench-solver-short bench-engine bench-engine-short bench-chip bench-chip-short trace-smoke cluster-trace-smoke serve
 
-ci: fmt vet build test race cluster-smoke trace-smoke bench-solver-short bench-engine-short bench-chip-short
+ci: fmt vet build test race cluster-smoke trace-smoke cluster-trace-smoke bench-solver-short bench-engine-short bench-chip-short
 
 fmt:
 	@out=$$(gofmt -l .); if [ -n "$$out" ]; then \
@@ -76,6 +76,17 @@ trace-smoke:
 	$(GO) run ./cmd/pilfill -case T2 -window 32 -r 2 -method Greedy -trace trace-smoke.json >/dev/null
 	$(GO) run ./cmd/tracecheck trace-smoke.json
 	@rm -f trace-smoke.json
+
+# Cluster tracing smoke test: an in-process two-worker chip run with span
+# collection, under the race detector, writes the merged multi-process trace;
+# tracecheck then lints it in -multi mode (coordinator lane plus one process
+# group per region dump, every span's parent resolving within its process).
+cluster-trace-smoke:
+	$(GO) test -race -count=1 -run TestClusterMergedTrace ./internal/cluster \
+		-args -cluster-trace-out $(CURDIR)/cluster-trace-smoke.json
+	$(GO) run ./cmd/tracecheck -multi \
+		-names run,tile,solve,chip,region,attempt,merge cluster-trace-smoke.json
+	@rm -f cluster-trace-smoke.json
 
 # Run the fill-synthesis daemon with development-friendly settings.
 serve:

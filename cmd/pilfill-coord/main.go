@@ -69,6 +69,8 @@ func main() {
 		seed       = flag.Int64("seed", 1, "one-shot: RNG seed (Normal method)")
 		weighted   = flag.Bool("weighted", false, "one-shot: criticality-weighted objective")
 		jobTimeout = flag.Duration("job-timeout", 10*time.Minute, "one-shot: per-region job deadline on the workers")
+		collectTr  = flag.Bool("collect-trace", false, "one-shot: workers ship span dumps back with their reports")
+		traceOut   = flag.String("trace", "", "one-shot: write the merged multi-process Chrome trace here (implies -collect-trace)")
 		version    = flag.Bool("version", false, "print the build version and exit")
 	)
 	flag.Parse()
@@ -113,6 +115,7 @@ func main() {
 			TimeoutMS: jobTimeout.Milliseconds(),
 			Options:   server.SubmitOptions{Seed: *seed, Weighted: *weighted},
 		}
+		job.CollectTrace = *collectTr || *traceOut != ""
 		if *defPath != "" {
 			data, err := os.ReadFile(*defPath)
 			if err != nil {
@@ -123,7 +126,7 @@ func main() {
 		if _, err := fmt.Sscanf(*gridF, "%dx%d", &job.GX, &job.GY); err != nil {
 			log.Fatalf("pilfill-coord: bad -grid %q (want GXxGY): %v", *gridF, err)
 		}
-		runOnce(coord, job, logger)
+		runOnce(coord, job, logger, *traceOut)
 		return
 	}
 
@@ -168,10 +171,11 @@ func main() {
 	}
 }
 
-// runOnce executes a single chip and prints the merged report JSON.
+// runOnce executes a single chip, prints the merged report JSON, and — when
+// traceOut is set — writes the merged multi-process Chrome trace.
 func runOnce(coord *cluster.Coordinator, job cluster.ChipJob, logger interface {
 	Info(string, ...any)
-}) {
+}, traceOut string) {
 	start := time.Now()
 	prep, err := cluster.PrepareChip(job)
 	if err != nil {
@@ -179,12 +183,26 @@ func runOnce(coord *cluster.Coordinator, job cluster.ChipJob, logger interface {
 	}
 	logger.Info("chip prepared", "regions", len(prep.Jobs),
 		"tiles", prep.Dis.NX*prep.Dis.NY, "achieved_min", prep.Achieved)
-	rep, err := coord.RunChip(context.Background(), prep)
+	run := cluster.NewChipRun("", job.CollectTrace)
+	rep, err := coord.RunChipObserved(context.Background(), prep, run)
 	if err != nil {
 		log.Fatalf("pilfill-coord: %v", err)
 	}
 	logger.Info("chip done", "fills", rep.FillCount, "fill_hash", rep.FillHash,
-		"wall", time.Since(start).String())
+		"trace", run.TraceID, "wall", time.Since(start).String())
+	if traceOut != "" {
+		f, err := os.Create(traceOut)
+		if err != nil {
+			log.Fatalf("pilfill-coord: %v", err)
+		}
+		if err := run.WriteMergedTrace(f); err != nil {
+			log.Fatalf("pilfill-coord: write merged trace: %v", err)
+		}
+		if err := f.Close(); err != nil {
+			log.Fatalf("pilfill-coord: %v", err)
+		}
+		logger.Info("merged trace written", "path", traceOut)
+	}
 	enc := json.NewEncoder(os.Stdout)
 	enc.SetIndent("", "  ")
 	if err := enc.Encode(rep); err != nil {

@@ -1,6 +1,10 @@
 // Command pilfilld serves fill synthesis over HTTP: a bounded job queue
-// with a fixed worker pool, per-job deadlines, cancellation, and Prometheus
-// metrics. See internal/server for the API.
+// with a fixed worker pool, per-job deadlines, cancellation, live per-job
+// progress (GET /v1/jobs/{id}/progress, fed by the engine's tile callback),
+// optional span collection shipped back with the report (collect_trace),
+// and Prometheus metrics. Incoming X-Request-ID headers — the coordinator
+// sends `<trace>/<region>#<attempt>` — are echoed, logged, and bound to the
+// job as its trace ID. See internal/server for the API.
 //
 // Usage:
 //

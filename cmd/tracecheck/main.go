@@ -1,21 +1,28 @@
 // Command tracecheck validates a Chrome trace-event JSON file produced by
-// pilfill -trace / benchtables -trace: the document must parse, contain at
-// least one event, use only well-formed phases, and (unless -names is
-// cleared) contain the pipeline's span hierarchy. It is the assertion behind
-// `make trace-smoke`.
+// pilfill -trace / benchtables -trace / pilfill-coord -trace: the document
+// must parse, contain at least one event, use only well-formed phases, and
+// (unless -names is cleared) contain the pipeline's span hierarchy. With
+// -multi the file must be a merged multi-process trace: at least two process
+// groups, and every span's parent must resolve within its own process (no
+// orphans). It is the assertion behind `make trace-smoke` and
+// `make cluster-trace-smoke`.
 //
 // Usage:
 //
 //	pilfill -case T2 -method ILP-II -trace out.json
 //	tracecheck out.json
+//
+//	pilfill-coord -workers ... -submit -collect-trace -trace merged.json ...
+//	tracecheck -multi -names run,tile,solve,chip,region merged.json
 package main
 
 import (
-	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
 	"strings"
+
+	"pilfill/internal/obs"
 )
 
 func fail(format string, args ...any) {
@@ -23,28 +30,15 @@ func fail(format string, args ...any) {
 	os.Exit(1)
 }
 
-type event struct {
-	Name string         `json:"name"`
-	Cat  string         `json:"cat"`
-	Ph   string         `json:"ph"`
-	TS   *float64       `json:"ts"`
-	Dur  *float64       `json:"dur"`
-	PID  *int           `json:"pid"`
-	TID  *int           `json:"tid"`
-	Args map[string]any `json:"args"`
-}
-
-type document struct {
-	TraceEvents []event `json:"traceEvents"`
-}
-
 func main() {
 	names := flag.String("names", "prep,run,tile,solve",
 		"comma-separated span names that must all appear (empty disables)")
+	multi := flag.Bool("multi", false,
+		"expect a merged multi-process trace: >= 2 process groups, parents resolve per process")
 	quiet := flag.Bool("q", false, "print nothing on success")
 	flag.Parse()
 	if flag.NArg() != 1 {
-		fmt.Fprintln(os.Stderr, "usage: tracecheck [-names a,b,c] trace.json")
+		fmt.Fprintln(os.Stderr, "usage: tracecheck [-names a,b,c] [-multi] trace.json")
 		os.Exit(2)
 	}
 	path := flag.Arg(0)
@@ -52,57 +46,18 @@ func main() {
 	if err != nil {
 		fail("%v", err)
 	}
-	var doc document
-	if err := json.Unmarshal(data, &doc); err != nil {
-		fail("%s: not a trace-event document: %v", path, err)
+	var require []string
+	for _, want := range strings.Split(*names, ",") {
+		if want = strings.TrimSpace(want); want != "" {
+			require = append(require, want)
+		}
 	}
-	if len(doc.TraceEvents) == 0 {
-		fail("%s: no trace events", path)
-	}
-
-	seen := map[string]int{}
-	spans := 0
-	for i, ev := range doc.TraceEvents {
-		if ev.Name == "" {
-			fail("%s: event %d has no name", path, i)
-		}
-		if ev.TS == nil {
-			fail("%s: event %d (%s) has no ts", path, i, ev.Name)
-		}
-		if ev.PID == nil || ev.TID == nil {
-			fail("%s: event %d (%s) missing pid/tid", path, i, ev.Name)
-		}
-		switch ev.Ph {
-		case "X":
-			if ev.Dur == nil || *ev.Dur < 0 {
-				fail("%s: complete event %d (%s) has no valid dur", path, i, ev.Name)
-			}
-			spans++
-		case "i":
-			// instant events carry no duration
-		default:
-			fail("%s: event %d (%s) has unsupported phase %q", path, i, ev.Name, ev.Ph)
-		}
-		seen[ev.Name]++
-	}
-	if *names != "" {
-		for _, want := range strings.Split(*names, ",") {
-			want = strings.TrimSpace(want)
-			if want != "" && seen[want] == 0 {
-				fail("%s: no %q span (have: %v)", path, want, keys(seen))
-			}
-		}
+	stats, err := obs.LintChromeTrace(data, require, *multi)
+	if err != nil {
+		fail("%s: %v", path, err)
 	}
 	if !*quiet {
-		fmt.Printf("%s: ok (%d events, %d complete spans, %d names)\n",
-			path, len(doc.TraceEvents), spans, len(seen))
+		fmt.Printf("%s: ok (%d events, %d complete spans, %d names, %d processes)\n",
+			path, stats.Events, stats.Spans, len(stats.Names), stats.Processes)
 	}
-}
-
-func keys(m map[string]int) []string {
-	out := make([]string, 0, len(m))
-	for k := range m {
-		out = append(out, k)
-	}
-	return out
 }

@@ -57,6 +57,15 @@ type ChipJob struct {
 	Options server.SubmitOptions `json:"options"`
 	// TimeoutMS bounds each region job's run time on its worker.
 	TimeoutMS int64 `json:"timeout_ms,omitempty"`
+
+	// CollectTrace asks every worker to record a span buffer for its region
+	// job and ship it back with the report; the coordinator merges the dumps
+	// with its own spans into one multi-process Chrome trace. It rides here
+	// rather than in Options so the region idempotency key — and therefore
+	// WAL/dedupe identity — does not depend on whether tracing is on (a
+	// region replayed from a traceless earlier run simply contributes no
+	// spans).
+	CollectTrace bool `json:"collect_trace,omitempty"`
 }
 
 // withDefaults returns a copy with the documented defaults applied.

@@ -172,12 +172,29 @@ func (c *Coordinator) Close() error { return c.wal.Close() }
 // RunChip scatters a prepared chip's region jobs, waits for every region, and
 // gathers the payloads in region-index order into one merged report.
 func (c *Coordinator) RunChip(ctx context.Context, prep *Prep) (*MergedReport, error) {
+	return c.RunChipObserved(ctx, prep, nil)
+}
+
+// RunChipObserved is RunChip with an externally owned ChipRun receiving live
+// per-region progress, partial reports and (when the run collects traces)
+// the coordinator's spans plus every region's worker span dump. A nil run
+// builds a throwaway one, so RunChip costs one small allocation extra.
+func (c *Coordinator) RunChipObserved(ctx context.Context, prep *Prep, run *ChipRun) (*MergedReport, error) {
+	if run == nil {
+		run = NewChipRun("", prep.Job.CollectTrace)
+	}
+	run.init(prep)
 	m, ok := server.ParseMethod(prep.Job.Method)
 	if !ok {
 		return nil, fmt.Errorf("cluster: unknown method %q", prep.Job.Method)
 	}
 	gctx, cancel := context.WithCancel(ctx)
 	defer cancel()
+
+	chipSpan := run.Tracer.Start("cluster", "chip", 0, 0)
+	chipSpan.Arg("regions", int64(len(prep.Jobs)))
+	chipID := chipSpan.ID()
+	defer chipSpan.End()
 
 	results := make([]*server.RegionPayload, len(prep.Jobs))
 	sem := make(chan struct{}, c.cfg.MaxInFlight)
@@ -188,13 +205,16 @@ func (c *Coordinator) RunChip(ctx context.Context, prep *Prep) (*MergedReport, e
 	)
 	for n, jb := range prep.Jobs {
 		key := regionKey(jb, &prep.Job)
+		regionID := jb.Region.ID(prep.Plan.GX, prep.Plan.GY)
 		if rp := c.finished(key); rp != nil {
 			results[n] = rp
 			c.m.regions.Inc("cached")
+			run.regionDone(regionID, rp, true)
+			run.Tracer.Instant("cluster", "region-cached", n+1, chipID, obs.Arg{}, obs.Arg{})
 			continue
 		}
 		wg.Add(1)
-		go func(n int, jb *shard.Job, key string) {
+		go func(n int, jb *shard.Job, key, regionID string) {
 			defer wg.Done()
 			select {
 			case sem <- struct{}{}:
@@ -202,38 +222,55 @@ func (c *Coordinator) RunChip(ctx context.Context, prep *Prep) (*MergedReport, e
 			case <-gctx.Done():
 				return
 			}
+			// Each region gets its own coordinator span lane so concurrent
+			// regions do not overlap in the rendered trace.
+			sp := run.Tracer.Start("cluster", "region", n+1, chipID)
+			ro := &regionObs{run: run, id: regionID, lane: n + 1, parent: sp.ID()}
 			start := time.Now()
-			rp, err := c.runRegion(gctx, jb, &prep.Job, key)
+			rp, outcome, err := c.runRegion(gctx, jb, &prep.Job, key, ro)
 			if err != nil {
+				sp.End()
 				errOnce.Do(func() {
-					firstErr = fmt.Errorf("cluster: region %s: %w", jb.Region.ID(prep.Plan.GX, prep.Plan.GY), err)
+					firstErr = fmt.Errorf("cluster: region %s: %w", regionID, err)
 					cancel()
 				})
 				c.m.regions.Inc("failed")
+				run.regionFailed(regionID)
 				return
 			}
+			sp.Arg("tiles", int64(rp.Tiles))
+			sp.End()
 			c.m.regions.Inc("ok")
-			c.m.regionSeconds.Observe(time.Since(start).Seconds())
+			secs := time.Since(start).Seconds()
+			c.m.regionSeconds.Observe(secs)
+			c.m.regionDuration.Observe(outcome, secs)
 			results[n] = rp
+			run.regionDone(regionID, rp, false)
 			c.recordDone(key, rp)
-		}(n, jb, key)
+		}(n, jb, key, regionID)
 	}
 	wg.Wait()
 	if firstErr != nil {
+		run.setState("failed")
 		return nil, firstErr
 	}
 	if err := ctx.Err(); err != nil {
+		run.setState("failed")
 		return nil, err
 	}
 
 	mergeStart := time.Now()
+	msp := run.Tracer.Start("cluster", "merge", 0, chipID)
 	rep, err := MergeRegions(prep.NetNames, results)
+	msp.End()
 	if err != nil {
+		run.setState("failed")
 		return nil, err
 	}
 	c.m.mergeSeconds.Observe(time.Since(mergeStart).Seconds())
 	rep.Method = m.String()
 	rep.BudgetAchievedMin = prep.Achieved
+	run.setState("done")
 	return rep, nil
 }
 
@@ -316,19 +353,44 @@ func mix64(x uint64) uint64 {
 
 // attemptResult is one submit-and-poll attempt's outcome.
 type attemptResult struct {
-	payload *server.RegionPayload
-	worker  string
-	hedge   bool
-	err     error
+	payload   *server.RegionPayload
+	trace     *obs.TraceDump // worker span dump, when the job collected one
+	worker    string
+	reqID     string    // X-Request-ID the attempt carried
+	submitted time.Time // when the attempt was posted (clock-alignment bound)
+	hedge     bool
+	err       error
+}
+
+// regionObs carries one region's observability context down the attempt
+// stack: the ChipRun to feed, the region's identity for request IDs, and the
+// coordinator span lane/parent for attempt spans.
+type regionObs struct {
+	run    *ChipRun
+	id     string
+	lane   int
+	parent obs.SpanID
+}
+
+// reqID builds the X-Request-ID for one attempt: `<trace>/<region>#<n>`,
+// with an "h" suffix on hedged duplicates.
+func (ro *regionObs) reqID(attempt int, hedge bool) string {
+	id := fmt.Sprintf("%s/%s#%d", ro.run.TraceID, ro.id, attempt)
+	if hedge {
+		id += "h"
+	}
+	return id
 }
 
 // runRegion drives one region to completion: ranked workers, bounded
 // attempts, backoff with per-region deterministic jitter, and an optional
-// hedged duplicate per attempt.
-func (c *Coordinator) runRegion(ctx context.Context, jb *shard.Job, job *ChipJob, key string) (*server.RegionPayload, error) {
+// hedged duplicate per attempt. The outcome string labels the duration
+// histogram: "ok" first-attempt wins, "retried" later-attempt wins,
+// "hedge-won" hedged-duplicate wins.
+func (c *Coordinator) runRegion(ctx context.Context, jb *shard.Job, job *ChipJob, key string, ro *regionObs) (*server.RegionPayload, string, error) {
 	req, err := regionRequest(jb, job, key)
 	if err != nil {
-		return nil, err
+		return nil, "", err
 	}
 	ranked := rendezvous(c.cfg.Workers, key)
 	kh := fnv.New64a()
@@ -340,34 +402,42 @@ func (c *Coordinator) runRegion(ctx context.Context, jb *shard.Job, job *ChipJob
 		if attempt > 0 {
 			c.m.retries.Inc()
 			if err := sleepCtx(ctx, c.backoff(attempt, rng)); err != nil {
-				return nil, err
+				return nil, "", err
 			}
 		}
-		primary := c.pickReady(ctx, ranked, attempt)
-		res := c.attemptWithHedge(ctx, ranked, primary, req, key)
+		primary := c.pickReady(ctx, ranked, attempt, ro)
+		res := c.attemptWithHedge(ctx, ranked, primary, req, key, attempt, ro)
 		if res.err == nil {
-			if res.hedge {
+			ro.run.addDump(ro.id, res.worker, res.submitted, res.trace)
+			outcome := "ok"
+			switch {
+			case res.hedge:
 				c.m.hedgeWins.Inc()
+				outcome = "hedge-won"
+			case attempt > 0:
+				outcome = "retried"
 			}
-			return res.payload, nil
+			return res.payload, outcome, nil
 		}
 		lastErr = res.err
 		if ctx.Err() != nil {
-			return nil, ctx.Err()
+			return nil, "", ctx.Err()
 		}
 		c.log.Warn("cluster: region attempt failed", "key", key,
-			"attempt", attempt, "worker", res.worker, "err", res.err)
+			"attempt", attempt, "worker", res.worker, "req_id", res.reqID,
+			"err", res.err)
 	}
-	return nil, fmt.Errorf("%d attempts failed, last: %w", c.cfg.MaxAttempts, lastErr)
+	return nil, "", fmt.Errorf("%d attempts failed, last: %w", c.cfg.MaxAttempts, lastErr)
 }
 
 // pickReady scans the ranking (starting at the attempt's rotation) for a
 // worker whose /readyz passes, falling back to the rotation slot itself when
 // none probe ready — the attempt is then the truth, not the stale probe.
-func (c *Coordinator) pickReady(ctx context.Context, ranked []string, attempt int) int {
+func (c *Coordinator) pickReady(ctx context.Context, ranked []string, attempt int, ro *regionObs) int {
+	probeID := ro.run.TraceID + "/probe"
 	for off := 0; off < len(ranked); off++ {
 		idx := (attempt + off) % len(ranked)
-		if c.workerReady(ctx, ranked[idx]) {
+		if c.workerReady(ctx, ranked[idx], probeID) {
 			return idx
 		}
 		c.m.notReady.Inc()
@@ -378,19 +448,29 @@ func (c *Coordinator) pickReady(ctx context.Context, ranked []string, attempt in
 // attemptWithHedge runs one attempt on the primary worker and, when
 // configured and the primary is slow, a hedged duplicate on the next-ranked
 // worker. The first success wins; the loser's context is cancelled.
-func (c *Coordinator) attemptWithHedge(ctx context.Context, ranked []string, primary int, req *server.SubmitRequest, key string) attemptResult {
+func (c *Coordinator) attemptWithHedge(ctx context.Context, ranked []string, primary int, req *server.SubmitRequest, key string, attempt int, ro *regionObs) attemptResult {
 	actx, cancel := context.WithTimeout(ctx, c.cfg.AttemptTimeout)
 	defer cancel()
 
 	ch := make(chan attemptResult, 2)
 	launch := func(idx int, hedge bool) {
 		w := ranked[idx]
+		reqID := ro.reqID(attempt, hedge)
 		c.m.attempts.Inc()
 		c.m.inflight.Add(1)
+		ro.run.regionAttempt(ro.id, w, hedge)
 		go func() {
 			defer c.m.inflight.Add(-1)
-			rp, err := c.attempt(actx, w, req)
-			ch <- attemptResult{payload: rp, worker: w, hedge: hedge, err: err}
+			name := "attempt"
+			if hedge {
+				name = "hedge"
+			}
+			asp := ro.run.Tracer.Start("cluster", name, ro.lane, ro.parent)
+			submitted := time.Now()
+			rp, tr, err := c.attempt(actx, w, req, reqID, ro)
+			asp.End()
+			ch <- attemptResult{payload: rp, trace: tr, worker: w,
+				reqID: reqID, submitted: submitted, hedge: hedge, err: err}
 		}()
 	}
 	launch(primary, false)
@@ -452,8 +532,10 @@ func sleepCtx(ctx context.Context, d time.Duration) error {
 }
 
 // workerReady probes a worker's /readyz, caching the verdict briefly so a
-// wide scatter does not stampede the endpoint.
-func (c *Coordinator) workerReady(ctx context.Context, worker string) bool {
+// wide scatter does not stampede the endpoint. The probe carries reqID as
+// X-Request-ID like every other outbound call, so worker request logs tie
+// probes to the chip that triggered them.
+func (c *Coordinator) workerReady(ctx context.Context, worker, reqID string) bool {
 	c.readyMu.Lock()
 	st, ok := c.readyCache[worker]
 	c.readyMu.Unlock()
@@ -465,6 +547,7 @@ func (c *Coordinator) workerReady(ctx context.Context, worker string) bool {
 	ready := false
 	req, err := http.NewRequestWithContext(pctx, http.MethodGet, worker+"/readyz", nil)
 	if err == nil {
+		c.setHeaders(req, reqID)
 		if resp, err := c.client.Do(req); err == nil {
 			io.Copy(io.Discard, resp.Body)
 			resp.Body.Close()
@@ -477,13 +560,62 @@ func (c *Coordinator) workerReady(ctx context.Context, worker string) bool {
 	return ready
 }
 
-// regionRequest builds the /v1/jobs submission for a region job.
+// WorkerStatus is one worker's health as seen from the coordinator.
+type WorkerStatus struct {
+	URL   string `json:"url"`
+	Ready bool   `json:"ready"`
+}
+
+// WorkerStatuses probes every configured worker's /readyz (through the
+// usual short-lived cache) for /statusz.
+func (c *Coordinator) WorkerStatuses(ctx context.Context) []WorkerStatus {
+	out := make([]WorkerStatus, len(c.cfg.Workers))
+	for i, w := range c.cfg.Workers {
+		out[i] = WorkerStatus{URL: w, Ready: c.workerReady(ctx, w, "statusz/probe")}
+	}
+	return out
+}
+
+// CoordStats is a point-in-time read of the coordinator's counters for
+// /statusz; the Prometheus exposition remains the canonical time series.
+type CoordStats struct {
+	RegionsOK     float64 `json:"regions_ok"`
+	RegionsCached float64 `json:"regions_cached"`
+	RegionsFailed float64 `json:"regions_failed"`
+	Attempts      float64 `json:"attempts"`
+	Retries       float64 `json:"retries"`
+	Hedges        float64 `json:"hedges"`
+	HedgeWins     float64 `json:"hedge_wins"`
+	NotReady      float64 `json:"worker_not_ready"`
+	Inflight      int64   `json:"inflight_attempts"`
+}
+
+// Stats snapshots the coordinator counters.
+func (c *Coordinator) Stats() CoordStats {
+	return CoordStats{
+		RegionsOK:     c.m.regions.Value("ok"),
+		RegionsCached: c.m.regions.Value("cached"),
+		RegionsFailed: c.m.regions.Value("failed"),
+		Attempts:      c.m.attempts.Value(),
+		Retries:       c.m.retries.Value(),
+		Hedges:        c.m.hedges.Value(),
+		HedgeWins:     c.m.hedgeWins.Value(),
+		NotReady:      c.m.notReady.Value(),
+		Inflight:      c.m.inflight.Load(),
+	}
+}
+
+// regionRequest builds the /v1/jobs submission for a region job. The chip's
+// CollectTrace flag is applied to the request copy of the options only —
+// regionKey hashes job.Options, so the idempotency key stays trace-agnostic.
 func regionRequest(jb *shard.Job, job *ChipJob, key string) (*server.SubmitRequest, error) {
 	o := jb.Region.Owned
+	opts := job.Options
+	opts.CollectTrace = job.CollectTrace || opts.CollectTrace
 	return &server.SubmitRequest{
 		DEF:       jb.DEF,
 		Method:    job.Method,
-		Options:   job.Options,
+		Options:   opts,
 		TimeoutMS: job.TimeoutMS,
 		Key:       key,
 		Region: &server.RegionSpec{
@@ -514,54 +646,70 @@ func (e *retryableError) Error() string { return e.err.Error() }
 func (e *retryableError) Unwrap() error { return e.err }
 
 // attempt submits the region job to one worker and polls it to a terminal
-// state. The submission is idempotent (the key dedupes), so every failure
-// mode — timeout, connection loss, worker restart — is safe to retry.
-func (c *Coordinator) attempt(ctx context.Context, worker string, req *server.SubmitRequest) (*server.RegionPayload, error) {
-	view, err := c.postJob(ctx, worker, req)
+// state, forwarding the worker's live progress snapshots into the ChipRun on
+// every poll. The submission is idempotent (the key dedupes), so every
+// failure mode — timeout, connection loss, worker restart — is safe to
+// retry. The returned dump is the worker's span buffer when the job
+// collected one.
+func (c *Coordinator) attempt(ctx context.Context, worker string, req *server.SubmitRequest, reqID string, ro *regionObs) (*server.RegionPayload, *obs.TraceDump, error) {
+	view, err := c.postJob(ctx, worker, req, reqID)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
-	if rp, terminal, err := regionOutcome(view); terminal {
-		return rp, err // dedupe hit on an already-finished job
+	if rp, tr, terminal, err := regionOutcome(view); terminal {
+		return rp, tr, err // dedupe hit on an already-finished job
 	}
 	ticker := time.NewTicker(c.cfg.PollInterval)
 	defer ticker.Stop()
 	for {
 		select {
 		case <-ctx.Done():
-			return nil, ctx.Err()
+			return nil, nil, ctx.Err()
 		case <-ticker.C:
 		}
-		view, err := c.getJob(ctx, worker, view.ID)
+		view, err := c.getJob(ctx, worker, view.ID, reqID)
 		if err != nil {
-			return nil, err
+			return nil, nil, err
 		}
-		if rp, terminal, err := regionOutcome(view); terminal {
-			return rp, err
+		ro.run.regionProgress(ro.id, view.Progress)
+		if rp, tr, terminal, err := regionOutcome(view); terminal {
+			return rp, tr, err
 		}
 	}
 }
 
-// regionOutcome interprets a job view: (payload, true, nil) on success,
-// (nil, true, err) on a terminal failure, terminal=false while running.
-func regionOutcome(view *server.JobView) (*server.RegionPayload, bool, error) {
+// regionOutcome interprets a job view: (payload, dump, true, nil) on
+// success, (nil, nil, true, err) on a terminal failure, terminal=false while
+// running.
+func regionOutcome(view *server.JobView) (*server.RegionPayload, *obs.TraceDump, bool, error) {
 	switch view.State {
 	case "done":
 		if view.Report == nil || view.Report.Region == nil {
-			return nil, true, fmt.Errorf("job %s finished without a region payload", view.ID)
+			return nil, nil, true, fmt.Errorf("job %s finished without a region payload", view.ID)
 		}
-		return view.Report.Region, true, nil
+		return view.Report.Region, view.Report.Trace, true, nil
 	case "failed":
-		return nil, true, fmt.Errorf("job %s failed: %s", view.ID, view.Error)
+		return nil, nil, true, fmt.Errorf("job %s failed: %s", view.ID, view.Error)
 	case "cancelled":
-		return nil, true, &retryableError{fmt.Errorf("job %s cancelled by worker", view.ID)}
+		return nil, nil, true, &retryableError{fmt.Errorf("job %s cancelled by worker", view.ID)}
 	}
-	return nil, false, nil
+	return nil, nil, false, nil
+}
+
+// setHeaders stamps the headers every outbound worker call carries: the
+// propagated request ID and, when configured, the tenant.
+func (c *Coordinator) setHeaders(hreq *http.Request, reqID string) {
+	if reqID != "" {
+		hreq.Header.Set("X-Request-ID", reqID)
+	}
+	if c.cfg.Tenant != "" {
+		hreq.Header.Set("X-Tenant", c.cfg.Tenant)
+	}
 }
 
 // postJob submits the region job. 429/503 and transport errors are
 // retryable; anything else non-2xx is a request defect and is not.
-func (c *Coordinator) postJob(ctx context.Context, worker string, req *server.SubmitRequest) (*server.JobView, error) {
+func (c *Coordinator) postJob(ctx context.Context, worker string, req *server.SubmitRequest, reqID string) (*server.JobView, error) {
 	body, err := json.Marshal(req)
 	if err != nil {
 		return nil, err
@@ -571,9 +719,7 @@ func (c *Coordinator) postJob(ctx context.Context, worker string, req *server.Su
 		return nil, err
 	}
 	hreq.Header.Set("Content-Type", "application/json")
-	if c.cfg.Tenant != "" {
-		hreq.Header.Set("X-Tenant", c.cfg.Tenant)
-	}
+	c.setHeaders(hreq, reqID)
 	resp, err := c.client.Do(hreq)
 	if err != nil {
 		return nil, &retryableError{fmt.Errorf("submit to %s: %w", worker, err)}
@@ -596,11 +742,12 @@ func (c *Coordinator) postJob(ctx context.Context, worker string, req *server.Su
 // getJob polls one job. A 404 means the worker lost the job (restart without
 // a WAL): retryable — resubmitting the same key either dedupes onto the
 // replayed job or starts it fresh.
-func (c *Coordinator) getJob(ctx context.Context, worker, id string) (*server.JobView, error) {
+func (c *Coordinator) getJob(ctx context.Context, worker, id, reqID string) (*server.JobView, error) {
 	hreq, err := http.NewRequestWithContext(ctx, http.MethodGet, worker+"/v1/jobs/"+id, nil)
 	if err != nil {
 		return nil, err
 	}
+	c.setHeaders(hreq, reqID)
 	resp, err := c.client.Do(hreq)
 	if err != nil {
 		return nil, &retryableError{fmt.Errorf("poll %s: %w", worker, err)}
@@ -634,15 +781,16 @@ func httpError(worker string, resp *http.Response) error {
 // registry, instruments still exist (on a private registry) so call sites
 // stay unconditional.
 type coordMetrics struct {
-	regions       *obs.CounterVec // regions by outcome: ok|cached|failed
-	attempts      *obs.Counter
-	retries       *obs.Counter
-	hedges        *obs.Counter
-	hedgeWins     *obs.Counter
-	notReady      *obs.Counter
-	regionSeconds *obs.Histogram
-	mergeSeconds  *obs.Histogram
-	inflight      atomic.Int64
+	regions        *obs.CounterVec // regions by outcome: ok|cached|failed
+	attempts       *obs.Counter
+	retries        *obs.Counter
+	hedges         *obs.Counter
+	hedgeWins      *obs.Counter
+	notReady       *obs.Counter
+	regionSeconds  *obs.Histogram
+	regionDuration *obs.HistogramVec // by outcome: ok|retried|hedge-won
+	mergeSeconds   *obs.Histogram
+	inflight       atomic.Int64
 }
 
 func newCoordMetrics(reg *obs.Registry) *coordMetrics {
@@ -664,6 +812,9 @@ func newCoordMetrics(reg *obs.Registry) *coordMetrics {
 			"Placement skips because a worker's /readyz probe failed."),
 		regionSeconds: reg.Histogram("pilfill_coord_region_seconds",
 			"Wall seconds per successfully scattered region.", nil),
+		regionDuration: reg.HistogramVec("pilfill_coord_region_duration_seconds",
+			"Wall seconds per successfully scattered region, by how the win "+
+				"arrived (ok first try, retried, hedge-won).", "outcome", nil),
 		mergeSeconds: reg.Histogram("pilfill_coord_merge_seconds",
 			"Wall seconds merging gathered region payloads.", nil),
 	}

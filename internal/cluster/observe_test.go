@@ -1,0 +1,510 @@
+package cluster
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"flag"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"pilfill/internal/jobqueue"
+	"pilfill/internal/obs"
+)
+
+// clusterTraceOut, when set (by make cluster-trace-smoke), receives the
+// merged trace TestClusterMergedTrace produces, so tracecheck can lint the
+// same artifact out of process.
+var clusterTraceOut = flag.String("cluster-trace-out", "", "write the merged cluster trace to this file")
+
+// spreadTracedChip finds a seed whose region keys rank every worker first
+// for at least one region — with all workers ready, the primary attempt
+// always wins, so rendezvous rank 0 IS the placement and the merged trace
+// deterministically contains spans from every worker.
+func spreadTracedChip(t *testing.T, workers []string, gx, gy int) *Prep {
+	t.Helper()
+	for seed := int64(1); seed <= 64; seed++ {
+		job := testChip("greedy", gx, gy)
+		job.Options.Seed = seed
+		job.CollectTrace = true
+		prep, err := PrepareChip(job)
+		if err != nil {
+			t.Fatalf("PrepareChip: %v", err)
+		}
+		used := map[string]bool{}
+		for _, jb := range prep.Jobs {
+			used[rendezvous(workers, regionKey(jb, &prep.Job))[0]] = true
+		}
+		if len(used) == len(workers) {
+			return prep
+		}
+	}
+	t.Fatal("no seed in 1..64 spreads regions across every worker")
+	return nil
+}
+
+// TestClusterMergedTrace is the tentpole e2e: a 2-worker cluster runs a
+// traced chip, every region ships its span dump back, and the coordinator
+// merges its own spans with the worker dumps into one Chrome trace that
+// passes the multi-process lint (two+ process groups, no orphan parents)
+// with both workers and the coordinator lane present.
+func TestClusterMergedTrace(t *testing.T) {
+	workers := newCluster(t, 2)
+	prep := spreadTracedChip(t, workers, 3, 2)
+
+	coord, err := New(Config{Workers: workers, PollInterval: 5 * time.Millisecond})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	run := NewChipRun("", true)
+	rep, err := coord.RunChipObserved(context.Background(), prep, run)
+	if err != nil {
+		t.Fatalf("RunChipObserved: %v", err)
+	}
+
+	// Every region must have shipped a dump, from both workers.
+	run.mu.Lock()
+	dumpWorkers := map[string]bool{}
+	for id, st := range run.regions {
+		if st.dump == nil {
+			t.Errorf("region %s shipped no span dump", id)
+		} else {
+			dumpWorkers[st.dumpWorker] = true
+		}
+	}
+	run.mu.Unlock()
+	if len(dumpWorkers) != len(workers) {
+		t.Fatalf("dumps came from %d workers, want %d (placement was pinned by seed)",
+			len(dumpWorkers), len(workers))
+	}
+
+	var buf bytes.Buffer
+	if err := run.WriteMergedTrace(&buf); err != nil {
+		t.Fatalf("WriteMergedTrace: %v", err)
+	}
+	stats, err := obs.LintChromeTrace(buf.Bytes(),
+		[]string{"run", "tile", "solve", "chip", "region", "attempt", "merge"}, true)
+	if err != nil {
+		t.Fatalf("merged trace fails lint: %v", err)
+	}
+	// One process group per region dump plus the coordinator lane.
+	if want := len(prep.Jobs) + 1; stats.Processes != want {
+		t.Fatalf("merged trace has %d process groups, want %d", stats.Processes, want)
+	}
+
+	// The terminal aggregated progress must land exactly on the chip's tile
+	// count as reported by the merge.
+	prog := run.Progress()
+	if prog.State != "done" || prog.TilesDone != rep.Tiles || prog.TilesTotal != rep.Tiles {
+		t.Fatalf("final progress %s %d/%d, want done %d/%d",
+			prog.State, prog.TilesDone, prog.TilesTotal, rep.Tiles, rep.Tiles)
+	}
+	if prog.RegionsDone != len(prep.Jobs) {
+		t.Fatalf("final progress shows %d regions done, want %d", prog.RegionsDone, len(prep.Jobs))
+	}
+
+	if *clusterTraceOut != "" {
+		if err := os.WriteFile(*clusterTraceOut, buf.Bytes(), 0o644); err != nil {
+			t.Fatalf("write %s: %v", *clusterTraceOut, err)
+		}
+	}
+}
+
+// stallMatching delays POST /v1/jobs submissions whose body contains a
+// substring (e.g. one region's ID), leaving everything else fast — a
+// deterministic straggler. The sleep honors request cancellation so drains
+// and test cleanup never wait it out.
+type stallMatching struct {
+	inner  http.Handler
+	substr string
+	d      time.Duration
+}
+
+func (s *stallMatching) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	if r.Method == http.MethodPost && r.URL.Path == "/v1/jobs" {
+		body, _ := io.ReadAll(r.Body)
+		r.Body.Close()
+		r.Body = io.NopCloser(bytes.NewReader(body))
+		if bytes.Contains(body, []byte(s.substr)) {
+			select {
+			case <-time.After(s.d):
+			case <-r.Context().Done():
+			}
+		}
+	}
+	s.inner.ServeHTTP(w, r)
+}
+
+// newCoordService stands up the full serving stack: workers, coordinator,
+// Service, HTTP listener.
+func newCoordService(t *testing.T, workers []string) (*Service, *httptest.Server) {
+	t.Helper()
+	coord, err := New(Config{Workers: workers, PollInterval: 5 * time.Millisecond})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	svc, err := NewService(ServiceConfig{
+		Coordinator: coord,
+		Queue:       jobqueue.Config{Capacity: 8, Workers: 2},
+	})
+	if err != nil {
+		t.Fatalf("NewService: %v", err)
+	}
+	ts := httptest.NewServer(svc)
+	t.Cleanup(func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+		defer cancel()
+		svc.Shutdown(ctx)
+		ts.Close()
+	})
+	return svc, ts
+}
+
+func getJSON(t *testing.T, url string, into any) int {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatalf("GET %s: %v", url, err)
+	}
+	defer resp.Body.Close()
+	data, _ := io.ReadAll(resp.Body)
+	if into != nil && resp.StatusCode < 300 {
+		if err := json.Unmarshal(data, into); err != nil {
+			t.Fatalf("GET %s: bad JSON %q: %v", url, data, err)
+		}
+	}
+	return resp.StatusCode
+}
+
+// submitChip posts a chip job and returns its ID.
+func submitChip(t *testing.T, ts *httptest.Server, job ChipJob) string {
+	t.Helper()
+	body, _ := json.Marshal(ChipSubmitRequest{Job: job})
+	resp, err := http.Post(ts.URL+"/v1/chips", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatalf("POST /v1/chips: %v", err)
+	}
+	defer resp.Body.Close()
+	data, _ := io.ReadAll(resp.Body)
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("submit: %d %s", resp.StatusCode, data)
+	}
+	var view ChipView
+	if err := json.Unmarshal(data, &view); err != nil {
+		t.Fatal(err)
+	}
+	return view.ID
+}
+
+// TestChipProgressMonotoneWithPartialResults polls the coordinator's
+// progress endpoint through a run with one deliberately lagging region:
+// tiles_done never decreases, a partial per-region report (fills stripped)
+// is visible while the chip is still running, and the final snapshot lands
+// exactly on the merged report's tile count.
+func TestChipProgressMonotoneWithPartialResults(t *testing.T) {
+	laggard := "r2x2-0-0"
+	stall := func(h http.Handler) http.Handler {
+		return &stallMatching{inner: h, substr: laggard, d: 500 * time.Millisecond}
+	}
+	workers := []string{newWorker(t, stall).URL, newWorker(t, stall).URL}
+	_, ts := newCoordService(t, workers)
+	id := submitChip(t, ts, testChip("greedy", 2, 2))
+
+	var (
+		last        = -1
+		sawPartial  bool
+		final       chipProgressView
+		terminalSet = map[string]bool{"done": true, "failed": true, "cancelled": true}
+	)
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		if time.Now().After(deadline) {
+			t.Fatal("chip did not finish in 30s")
+		}
+		var pv chipProgressView
+		if code := getJSON(t, ts.URL+"/v1/chips/"+id+"/progress", &pv); code != http.StatusOK {
+			t.Fatalf("GET progress: %d", code)
+		}
+		if pv.ChipProgress != nil {
+			if pv.TilesDone < last {
+				t.Fatalf("tiles_done went backwards: %d after %d", pv.TilesDone, last)
+			}
+			last = pv.TilesDone
+			if pv.State == "running" || (pv.Phase != "" && !terminalSet[pv.State]) {
+				for _, reg := range pv.Regions {
+					if reg.State == "done" && reg.Report != nil {
+						if reg.Report.FillHash == "" {
+							t.Fatal("partial region report has no fill hash")
+						}
+						if reg.Report.Fills != nil {
+							t.Fatal("partial region report still carries the fill list")
+						}
+						sawPartial = true
+					}
+				}
+			}
+		}
+		if terminalSet[pv.State] {
+			final = pv
+			break
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if final.State != "done" {
+		t.Fatalf("chip finished %s", final.State)
+	}
+	if !sawPartial {
+		t.Fatal("never observed a partial per-region report while the chip was running")
+	}
+
+	var view ChipView
+	if code := getJSON(t, ts.URL+"/v1/chips/"+id, &view); code != http.StatusOK {
+		t.Fatalf("GET chip: %d", code)
+	}
+	if view.Report == nil {
+		t.Fatal("done chip has no merged report")
+	}
+	if final.ChipProgress == nil || final.TilesDone != view.Report.Tiles || final.TilesTotal != view.Report.Tiles {
+		t.Fatalf("final progress %+v does not end at the chip tile count %d", final.ChipProgress, view.Report.Tiles)
+	}
+
+	// Progress for an unknown chip is a 404, not an empty 200.
+	if code := getJSON(t, ts.URL+"/v1/chips/nope/progress", nil); code != http.StatusNotFound {
+		t.Fatalf("GET progress for unknown chip: %d", code)
+	}
+}
+
+// sseEvent is one parsed server-sent event.
+type sseEvent struct {
+	name string
+	data string
+}
+
+// readSSE parses events off a stream until it closes or limit is reached.
+func readSSE(r io.Reader, limit int, each func(sseEvent) bool) {
+	sc := bufio.NewScanner(r)
+	var ev sseEvent
+	n := 0
+	for sc.Scan() {
+		line := sc.Text()
+		switch {
+		case strings.HasPrefix(line, "event: "):
+			ev.name = strings.TrimPrefix(line, "event: ")
+		case strings.HasPrefix(line, "data: "):
+			ev.data = strings.TrimPrefix(line, "data: ")
+		case line == "" && ev.name != "":
+			n++
+			if !each(ev) || n >= limit {
+				return
+			}
+			ev = sseEvent{}
+		}
+	}
+}
+
+// TestEventsStreamEndsOnCompletion: the SSE stream emits progress events and
+// closes with a terminal "end" event once the chip finishes.
+func TestEventsStreamEndsOnCompletion(t *testing.T) {
+	workers := newCluster(t, 2)
+	_, ts := newCoordService(t, workers)
+	id := submitChip(t, ts, testChip("greedy", 2, 1))
+
+	resp, err := http.Get(ts.URL + "/v1/chips/" + id + "/events")
+	if err != nil {
+		t.Fatalf("GET events: %v", err)
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); ct != "text/event-stream" {
+		t.Fatalf("events content-type %q", ct)
+	}
+	var progressEvents int
+	var endState string
+	readSSE(resp.Body, 10_000, func(ev sseEvent) bool {
+		switch ev.name {
+		case "progress":
+			progressEvents++
+			var pv chipProgressView
+			if err := json.Unmarshal([]byte(ev.data), &pv); err != nil {
+				t.Fatalf("bad progress event %q: %v", ev.data, err)
+			}
+		case "end":
+			var e struct {
+				State string `json:"state"`
+			}
+			json.Unmarshal([]byte(ev.data), &e)
+			endState = e.State
+			return false
+		}
+		return true
+	})
+	if progressEvents == 0 {
+		t.Fatal("stream closed without a progress event")
+	}
+	if endState != "done" {
+		t.Fatalf("stream ended with state %q, want done", endState)
+	}
+}
+
+// TestEventsStreamDrains pins satellite (f): flipping readiness off while a
+// chip is still running closes every open event stream with a terminal
+// "shutdown" event instead of letting SSE clients hold the drain open.
+func TestEventsStreamDrains(t *testing.T) {
+	stall := func(h http.Handler) http.Handler {
+		return &stallMatching{inner: h, substr: `"id":"r`, d: 30 * time.Second}
+	}
+	workers := []string{newWorker(t, stall).URL, newWorker(t, stall).URL}
+	svc, ts := newCoordService(t, workers)
+	id := submitChip(t, ts, testChip("greedy", 2, 1))
+
+	resp, err := http.Get(ts.URL + "/v1/chips/" + id + "/events")
+	if err != nil {
+		t.Fatalf("GET events: %v", err)
+	}
+	defer resp.Body.Close()
+
+	done := make(chan string, 1)
+	go func() {
+		lastEvent := ""
+		readSSE(resp.Body, 10_000, func(ev sseEvent) bool {
+			lastEvent = ev.name
+			return ev.name != "shutdown" && ev.name != "end"
+		})
+		done <- lastEvent
+	}()
+	// Give the stream a beat to deliver its first snapshot, then drain.
+	time.Sleep(250 * time.Millisecond)
+	svc.SetReady(false)
+	select {
+	case last := <-done:
+		if last != "shutdown" {
+			t.Fatalf("stream ended with %q, want shutdown", last)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("event stream did not close within 5s of SetReady(false)")
+	}
+}
+
+// TestStatusz: the status page serves both representations, knows the
+// workers, and lists the finished chip with its per-region table.
+func TestStatusz(t *testing.T) {
+	workers := newCluster(t, 2)
+	_, ts := newCoordService(t, workers)
+	id := submitChip(t, ts, testChip("greedy", 2, 1))
+
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		var view ChipView
+		getJSON(t, ts.URL+"/v1/chips/"+id, &view)
+		if view.State == "done" {
+			break
+		}
+		if view.State == "failed" || time.Now().After(deadline) {
+			t.Fatalf("chip state %s", view.State)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+
+	var d statuszData
+	if code := getJSON(t, ts.URL+"/statusz?format=json", &d); code != http.StatusOK {
+		t.Fatalf("GET statusz json: %d", code)
+	}
+	if len(d.Workers) != 2 {
+		t.Fatalf("statusz lists %d workers, want 2", len(d.Workers))
+	}
+	for _, w := range d.Workers {
+		if !w.Ready {
+			t.Fatalf("worker %s not ready on statusz", w.URL)
+		}
+	}
+	if len(d.Chips) == 0 || d.Chips[0].Progress == nil {
+		t.Fatalf("statusz lists no chip progress: %+v", d.Chips)
+	}
+	if d.Coord.RegionsOK == 0 {
+		t.Fatal("statusz coordinator counters all zero after a finished chip")
+	}
+
+	resp, err := http.Get(ts.URL + "/statusz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	html, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET statusz: %d", resp.StatusCode)
+	}
+	for _, want := range []string{"pilfill-coord", workers[0], "slowest tiles"} {
+		if !strings.Contains(string(html), want) {
+			t.Fatalf("statusz HTML missing %q", want)
+		}
+	}
+}
+
+// TestRequestIDPropagation pins satellite (a): every outbound coordinator
+// call — submit, poll, readiness probe — carries an X-Request-ID derived
+// from the chip trace ID, region and attempt.
+func TestRequestIDPropagation(t *testing.T) {
+	type seenReq struct{ method, path, reqID string }
+	var mu_ sync.Mutex
+	var seen []seenReq
+	record := func(h http.Handler) http.Handler {
+		return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+			mu_.Lock()
+			seen = append(seen, seenReq{r.Method, r.URL.Path, r.Header.Get("X-Request-ID")})
+			mu_.Unlock()
+			h.ServeHTTP(w, r)
+		})
+	}
+	workers := []string{newWorker(t, record).URL, newWorker(t, record).URL}
+
+	prep, err := PrepareChip(testChip("greedy", 2, 1))
+	if err != nil {
+		t.Fatalf("PrepareChip: %v", err)
+	}
+	coord, err := New(Config{Workers: workers, PollInterval: 5 * time.Millisecond})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	run := NewChipRun("trace-under-test", false)
+	if _, err := coord.RunChipObserved(context.Background(), prep, run); err != nil {
+		t.Fatalf("RunChipObserved: %v", err)
+	}
+
+	mu_.Lock()
+	defer mu_.Unlock()
+	if len(seen) == 0 {
+		t.Fatal("no worker requests recorded")
+	}
+	var probes, submits, polls int
+	for _, rq := range seen {
+		if rq.reqID == "" {
+			t.Fatalf("outbound %s %s carried no X-Request-ID", rq.method, rq.path)
+		}
+		if !strings.HasPrefix(rq.reqID, "trace-under-test/") {
+			t.Fatalf("request id %q does not extend the chip trace id", rq.reqID)
+		}
+		switch {
+		case rq.path == "/readyz":
+			probes++
+			if rq.reqID != "trace-under-test/probe" {
+				t.Fatalf("probe request id %q", rq.reqID)
+			}
+		case rq.method == http.MethodPost:
+			submits++
+			if !strings.Contains(rq.reqID, "#") {
+				t.Fatalf("submit request id %q has no attempt marker", rq.reqID)
+			}
+		case rq.method == http.MethodGet:
+			polls++
+		}
+	}
+	if probes == 0 || submits == 0 || polls == 0 {
+		t.Fatalf("expected probes, submits and polls; got %d/%d/%d", probes, submits, polls)
+	}
+}

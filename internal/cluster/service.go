@@ -6,13 +6,17 @@
 // — where they pick their finished regions back up from the region WAL and
 // re-scatter only the rest.
 //
-//	POST   /v1/chips      submit a chip job       -> 202 ChipView (200 on key dedupe)
-//	GET    /v1/chips      list jobs               -> 200 ChipListResponse (?limit=, ?after=)
-//	GET    /v1/chips/{id} job state + report      -> 200 ChipView
-//	DELETE /v1/chips/{id} cancel                  -> 200 ChipView
-//	GET    /healthz       liveness                -> 200 while serving
-//	GET    /readyz        routing readiness       -> 503 once draining starts
-//	GET    /metrics       Prometheus exposition (coordinator + queue families)
+//	POST   /v1/chips               submit a chip job       -> 202 ChipView (200 on key dedupe)
+//	GET    /v1/chips               list jobs               -> 200 ChipListResponse (?limit=, ?after=)
+//	GET    /v1/chips/{id}          job state + report      -> 200 ChipView
+//	DELETE /v1/chips/{id}          cancel                  -> 200 ChipView
+//	GET    /v1/chips/{id}/progress live aggregated progress-> 200 chip progress
+//	GET    /v1/chips/{id}/events   progress stream (SSE; ends with a terminal event)
+//	GET    /v1/chips/{id}/trace    merged multi-process Chrome trace (collect_trace chips)
+//	GET    /statusz                cluster status page (HTML; ?format=json)
+//	GET    /healthz                liveness                -> 200 while serving
+//	GET    /readyz                 routing readiness       -> 503 once draining starts
+//	GET    /metrics                Prometheus exposition (coordinator + queue families)
 package cluster
 
 import (
@@ -89,7 +93,13 @@ type Service struct {
 	ready atomic.Bool
 
 	mu   sync.Mutex
-	keys map[string]string // job id -> submission key, for the done record
+	keys map[string]string   // job id -> submission key, for the done record
+	runs map[string]*ChipRun // job id -> live/terminal observability state
+
+	// drainCh is closed when the service stops being ready, so open SSE
+	// streams can end with a terminal event instead of starving the drain.
+	drainMu sync.Mutex
+	drainCh chan struct{}
 }
 
 // NewService builds the service, replaying the chip WAL when DataDir is set.
@@ -104,10 +114,12 @@ func NewService(cfg ServiceConfig) (*Service, error) {
 		cfg.Registry = obs.NewRegistry()
 	}
 	s := &Service{
-		coord: cfg.Coordinator,
-		log:   cfg.Logger,
-		reg:   cfg.Registry,
-		keys:  make(map[string]string),
+		coord:   cfg.Coordinator,
+		log:     cfg.Logger,
+		reg:     cfg.Registry,
+		keys:    make(map[string]string),
+		runs:    make(map[string]*ChipRun),
+		drainCh: make(chan struct{}),
 	}
 	s.ready.Store(true)
 	qcfg := cfg.Queue
@@ -138,6 +150,10 @@ func NewService(cfg ServiceConfig) (*Service, error) {
 	mux.HandleFunc("GET /v1/chips", s.handleList)
 	mux.HandleFunc("GET /v1/chips/{id}", s.handleGet)
 	mux.HandleFunc("DELETE /v1/chips/{id}", s.handleCancel)
+	mux.HandleFunc("GET /v1/chips/{id}/progress", s.handleProgress)
+	mux.HandleFunc("GET /v1/chips/{id}/events", s.handleEvents)
+	mux.HandleFunc("GET /v1/chips/{id}/trace", s.handleTrace)
+	mux.HandleFunc("GET /statusz", s.handleStatusz)
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
 		if s.q.Draining() {
 			writeJSON(w, http.StatusServiceUnavailable, server.ErrorResponse{Error: "draining"})
@@ -163,11 +179,36 @@ func NewService(cfg ServiceConfig) (*Service, error) {
 func (s *Service) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
 
 // SetReady flips /readyz; pilfill-coord calls SetReady(false) at SIGTERM
-// before draining, mirroring pilfilld.
-func (s *Service) SetReady(ready bool) { s.ready.Store(ready) }
+// before draining, mirroring pilfilld. Going not-ready also releases every
+// open progress stream with a terminal "shutdown" event — an SSE client
+// must not be what keeps a draining coordinator alive.
+func (s *Service) SetReady(ready bool) {
+	s.ready.Store(ready)
+	s.drainMu.Lock()
+	defer s.drainMu.Unlock()
+	select {
+	case <-s.drainCh:
+		if ready {
+			s.drainCh = make(chan struct{})
+		}
+	default:
+		if !ready {
+			close(s.drainCh)
+		}
+	}
+}
 
-// Shutdown drains the chip queue and closes the WAL.
+// drain returns the channel closed when the service stops being ready.
+func (s *Service) drain() <-chan struct{} {
+	s.drainMu.Lock()
+	defer s.drainMu.Unlock()
+	return s.drainCh
+}
+
+// Shutdown drains the chip queue and closes the WAL; open event streams are
+// released first.
 func (s *Service) Shutdown(ctx context.Context) error {
+	s.SetReady(false)
 	err := s.q.Shutdown(ctx)
 	if werr := s.wal.Close(); err == nil {
 		err = werr
@@ -175,17 +216,39 @@ func (s *Service) Shutdown(ctx context.Context) error {
 	return err
 }
 
-// chipTask wraps one chip job for the queue.
-func (s *Service) chipTask(job ChipJob) jobqueue.Task {
+// chipTask wraps one chip job for the queue, feeding its ChipRun.
+func (s *Service) chipTask(job ChipJob, run *ChipRun) jobqueue.Task {
 	return func(ctx context.Context, setPhase func(string)) (any, error) {
 		setPhase("prepare")
+		run.setState("preparing")
 		prep, err := PrepareChip(job)
 		if err != nil {
+			run.setState("failed")
 			return nil, err
 		}
 		setPhase("scatter")
-		return s.coord.RunChip(ctx, prep)
+		return s.coord.RunChipObserved(ctx, prep, run)
 	}
+}
+
+// registerRun indexes a chip's ChipRun by job ID and sweeps entries the
+// queue no longer remembers, so the map tracks queue retention.
+func (s *Service) registerRun(id string, run *ChipRun) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for old := range s.runs {
+		if _, err := s.q.Get(old); err != nil {
+			delete(s.runs, old)
+		}
+	}
+	s.runs[id] = run
+}
+
+// runOf returns the ChipRun for a job ID, nil when unknown.
+func (s *Service) runOf(id string) *ChipRun {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.runs[id]
 }
 
 // chipFinished is the queue's OnFinish hook: the WAL done record. Cancelled
@@ -217,15 +280,17 @@ func (s *Service) replay(recs []jobqueue.WALRecord) error {
 			}
 			continue
 		}
-		snap, deduped, err := s.q.SubmitKeyed(s.chipTask(req.Job), jobqueue.SubmitOptions{Key: rec.Key})
+		run := NewChipRun("", req.Job.CollectTrace)
+		snap, deduped, err := s.q.SubmitKeyed(s.chipTask(req.Job, run), jobqueue.SubmitOptions{Key: rec.Key, Trace: run.TraceID})
 		if err != nil {
 			return fmt.Errorf("cluster: replay chip %s: %w", rec.Key, err)
 		}
 		if !deduped {
 			s.mu.Lock()
 			s.keys[snap.ID] = rec.Key
+			s.runs[snap.ID] = run
 			s.mu.Unlock()
-			s.logInfo("replayed chip job", "key", rec.Key, "id", snap.ID)
+			s.logInfo("replayed chip job", "key", rec.Key, "id", snap.ID, "trace", run.TraceID)
 		}
 	}
 	return nil
@@ -252,7 +317,8 @@ func (s *Service) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 
-	snap, deduped, err := s.q.SubmitKeyed(s.chipTask(req.Job), jobqueue.SubmitOptions{Key: req.Key})
+	run := NewChipRun(r.Header.Get("X-Request-ID"), req.Job.CollectTrace)
+	snap, deduped, err := s.q.SubmitKeyed(s.chipTask(req.Job, run), jobqueue.SubmitOptions{Key: req.Key, Trace: run.TraceID})
 	switch {
 	case deduped:
 		writeJSON(w, http.StatusOK, s.viewOf(snap))
@@ -267,6 +333,7 @@ func (s *Service) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusInternalServerError, server.ErrorResponse{Error: err.Error()})
 		return
 	}
+	s.registerRun(snap.ID, run)
 	if req.Key != "" {
 		s.mu.Lock()
 		s.keys[snap.ID] = req.Key
@@ -279,7 +346,8 @@ func (s *Service) handleSubmit(w http.ResponseWriter, r *http.Request) {
 			s.logWarn("chip wal accept append failed", "key", req.Key, "err", merr)
 		}
 	}
-	s.logInfo("chip job accepted", "id", snap.ID, "key", req.Key, "method", req.Job.Method)
+	s.logInfo("chip job accepted", "id", snap.ID, "key", req.Key,
+		"method", req.Job.Method, "trace", run.TraceID)
 	writeJSON(w, http.StatusAccepted, s.viewOf(snap))
 }
 
@@ -317,6 +385,114 @@ func (s *Service) handleCancel(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	writeJSON(w, http.StatusOK, s.viewOf(snap))
+}
+
+// chipProgressView is the wire form of GET /v1/chips/{id}/progress and each
+// SSE progress event: the queue's authoritative job state wrapped around the
+// ChipRun's aggregated region view (absent before the run is registered).
+type chipProgressView struct {
+	ID    string `json:"id"`
+	State string `json:"state"`
+	Phase string `json:"phase,omitempty"`
+	*ChipProgress
+}
+
+func (s *Service) progressView(snap jobqueue.Snapshot) chipProgressView {
+	v := chipProgressView{ID: snap.ID, State: snap.State.String()}
+	if snap.State == jobqueue.Running {
+		v.Phase = snap.Phase
+	}
+	if run := s.runOf(snap.ID); run != nil {
+		v.ChipProgress = run.Progress()
+	}
+	return v
+}
+
+func (s *Service) handleProgress(w http.ResponseWriter, r *http.Request) {
+	snap, err := s.q.Get(r.PathValue("id"))
+	if err != nil {
+		writeJSON(w, http.StatusNotFound, server.ErrorResponse{Error: err.Error()})
+		return
+	}
+	writeJSON(w, http.StatusOK, s.progressView(snap))
+}
+
+// terminalChip reports whether a chip job state is final.
+func terminalChip(st jobqueue.State) bool {
+	return st == jobqueue.Done || st == jobqueue.Failed || st == jobqueue.Cancelled
+}
+
+// handleEvents streams progress snapshots as server-sent events until the
+// chip reaches a terminal state ("end" event) or the service drains
+// ("shutdown" event) — the stream never outlives readiness, so a watching
+// client cannot wedge a SIGTERM.
+func (s *Service) handleEvents(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	if _, err := s.q.Get(id); err != nil {
+		writeJSON(w, http.StatusNotFound, server.ErrorResponse{Error: err.Error()})
+		return
+	}
+	fl, ok := w.(http.Flusher)
+	if !ok {
+		writeJSON(w, http.StatusInternalServerError, server.ErrorResponse{Error: "streaming unsupported"})
+		return
+	}
+	w.Header().Set("Content-Type", "text/event-stream")
+	w.Header().Set("Cache-Control", "no-cache")
+	w.WriteHeader(http.StatusOK)
+
+	drain := s.drain()
+	ticker := time.NewTicker(100 * time.Millisecond)
+	defer ticker.Stop()
+	for {
+		snap, err := s.q.Get(id)
+		if err != nil {
+			fmt.Fprintf(w, "event: end\ndata: {\"state\":\"gone\"}\n\n")
+			fl.Flush()
+			return
+		}
+		data, _ := json.Marshal(s.progressView(snap))
+		fmt.Fprintf(w, "event: progress\ndata: %s\n\n", data)
+		if terminalChip(snap.State) {
+			fmt.Fprintf(w, "event: end\ndata: {\"state\":%q}\n\n", snap.State.String())
+			fl.Flush()
+			return
+		}
+		fl.Flush()
+		select {
+		case <-r.Context().Done():
+			return
+		case <-drain:
+			fmt.Fprintf(w, "event: shutdown\ndata: {\"state\":%q}\n\n", snap.State.String())
+			fl.Flush()
+			return
+		case <-ticker.C:
+		}
+	}
+}
+
+// handleTrace serves the merged multi-process Chrome trace of a finished
+// collect_trace chip.
+func (s *Service) handleTrace(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	snap, err := s.q.Get(id)
+	if err != nil {
+		writeJSON(w, http.StatusNotFound, server.ErrorResponse{Error: err.Error()})
+		return
+	}
+	run := s.runOf(id)
+	if run == nil || !run.CollectsTraces() {
+		writeJSON(w, http.StatusNotFound, server.ErrorResponse{Error: "chip did not collect traces (set job.collect_trace)"})
+		return
+	}
+	if !terminalChip(snap.State) {
+		writeJSON(w, http.StatusConflict, server.ErrorResponse{Error: "trace is available once the chip finishes"})
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	if err := run.WriteMergedTrace(w); err != nil {
+		s.logWarn("merged trace write failed", "id", id, "err", err)
+	}
 }
 
 func (s *Service) viewOf(snap jobqueue.Snapshot) ChipView {

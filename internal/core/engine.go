@@ -146,6 +146,24 @@ type Config struct {
 	// ilp.DefaultProgressEvery. Progress is only wired up when Trace is
 	// enabled or Logger logs at Debug, so the default costs nothing.
 	ProgressNodes int
+	// OnTile, when set, is called once per successfully solved tile as the
+	// solve completes — the live-progress feed for the serving layer. It is
+	// invoked from the solve workers concurrently, so the callback must be
+	// safe for concurrent use; nil costs nothing.
+	OnTile func(TileEvent)
+}
+
+// TileEvent describes one completed tile solve for Config.OnTile. I/J are
+// chip-grid tile coordinates (the engine's indices shifted by
+// TileOffI/TileOffJ), so region shards report positions consistent with the
+// whole-chip run.
+type TileEvent struct {
+	I, J         int
+	MemoHit      bool
+	DualFallback bool
+	Nodes        int
+	LPPivots     int
+	Dur          time.Duration
 }
 
 // PrepStats breaks down the engine's preprocessing wall time. Analyze and
@@ -473,6 +491,23 @@ type Result struct {
 	// violated by the certified assignment) and that were re-solved by
 	// branch-and-bound. Always zero for other methods.
 	DualFallbacks int
+	// SlowestTiles holds the top slowest tile solves (at most
+	// MaxSlowestTiles, slowest first) with chip-grid coordinates — the per-
+	// region slice of the cluster-wide "which tiles ate the time" table.
+	// Durations are wall-clock measurements, so the membership and order can
+	// vary run to run; every other Result field stays bit-identical.
+	SlowestTiles []TileTime
+}
+
+// MaxSlowestTiles caps Result.SlowestTiles.
+const MaxSlowestTiles = 8
+
+// TileTime is one entry of Result.SlowestTiles: a tile's chip-grid position,
+// its solve duration, and the branch-and-bound effort behind it.
+type TileTime struct {
+	I, J  int
+	Dur   time.Duration
+	Nodes int
 }
 
 // solveStats carries one tile solve's deterministic by-products: search
@@ -797,6 +832,13 @@ func (e *Engine) RunContext(ctx context.Context, method Method, instances []*Ins
 			lg.Warn("slow tile", "i", in.I, "j", in.J, "method", method.String(),
 				"dur", dur, "nodes", st.nodes, "pivots", st.pivots)
 		}
+		if cb := e.Cfg.OnTile; cb != nil && err == nil {
+			cb(TileEvent{
+				I: in.I + e.Cfg.TileOffI, J: in.J + e.Cfg.TileOffJ,
+				MemoHit: hit, DualFallback: st.dualFallback,
+				Nodes: st.nodes, LPPivots: st.pivots, Dur: dur,
+			})
+		}
 	}
 	if workers > 1 {
 		// Hardest tiles first (LPT): the predicted-cost order only decides
@@ -844,6 +886,10 @@ func (e *Engine) RunContext(ctx context.Context, method Method, instances []*Ins
 		if o.dur > res.LongestSolve {
 			res.LongestSolve = o.dur
 		}
+		res.SlowestTiles = insertSlowTile(res.SlowestTiles, TileTime{
+			I: in.I + e.Cfg.TileOffI, J: in.J + e.Cfg.TileOffJ,
+			Dur: o.dur, Nodes: o.st.nodes,
+		})
 		placed := 0
 		for _, m := range o.a {
 			placed += m
@@ -879,6 +925,25 @@ func (e *Engine) RunContext(ctx context.Context, method Method, instances []*Ins
 	res.Wall = time.Since(start)
 	res.Phases.Preprocess = e.Prep.Total
 	return res, nil
+}
+
+// insertSlowTile inserts t into the slowest-first top-K list, keeping at
+// most MaxSlowestTiles entries. Ties keep the earlier (instance-order)
+// entry first, so runs with equal durations stay deterministic.
+func insertSlowTile(list []TileTime, t TileTime) []TileTime {
+	pos := len(list)
+	for pos > 0 && t.Dur > list[pos-1].Dur {
+		pos--
+	}
+	if pos >= MaxSlowestTiles {
+		return list
+	}
+	if len(list) < MaxSlowestTiles {
+		list = append(list, TileTime{})
+	}
+	copy(list[pos+1:], list[pos:])
+	list[pos] = t
+	return list
 }
 
 // accumulatePerNet adds each bounding net's unweighted delay contribution,

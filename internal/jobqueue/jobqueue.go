@@ -100,17 +100,23 @@ type SubmitOptions struct {
 	// are never recycled: they stick to their job for the queue's lifetime,
 	// terminal or not.
 	Key string
+	// Trace is an optional distributed trace/request ID to bind to the job:
+	// it rides in every Snapshot and is echoed on the started/finished log
+	// lines, so one grep correlates a job with the remote caller's attempt.
+	Trace string
 }
 
 // Snapshot is a race-free copy of a job's externally visible state.
 type Snapshot struct {
 	ID        string
 	Key       string // external idempotency key, when submitted with one
+	Trace     string // distributed trace ID, when submitted with one
 	State     State
 	Phase     string // last setPhase value while running
 	Submitted time.Time
 	Started   time.Time // zero until the job runs
 	Finished  time.Time // zero until terminal
+	Progress  any       // last PublishProgress value while running
 	Result    any       // the task's return value, when Done
 	Err       error     // terminal error, when Failed or Cancelled
 }
@@ -119,6 +125,7 @@ type Snapshot struct {
 type job struct {
 	id      string
 	key     string
+	trace   string
 	task    Task
 	timeout time.Duration
 
@@ -128,6 +135,7 @@ type job struct {
 	submitted       time.Time
 	started         time.Time
 	finished        time.Time
+	progress        any
 	result          any
 	err             error
 	cancel          context.CancelCauseFunc // non-nil only while running
@@ -138,11 +146,13 @@ func (j *job) snapshotLocked() Snapshot {
 	return Snapshot{
 		ID:        j.id,
 		Key:       j.key,
+		Trace:     j.trace,
 		State:     j.state,
 		Phase:     j.phase,
 		Submitted: j.submitted,
 		Started:   j.started,
 		Finished:  j.finished,
+		Progress:  j.progress,
 		Result:    j.result,
 		Err:       j.err,
 	}
@@ -250,6 +260,7 @@ func (q *Queue) SubmitKeyed(task Task, opts SubmitOptions) (Snapshot, bool, erro
 	j := &job{
 		id:        fmt.Sprintf("job-%08d", q.nextID),
 		key:       opts.Key,
+		trace:     opts.Trace,
 		task:      task,
 		timeout:   timeout,
 		state:     Pending,
@@ -455,13 +466,18 @@ func (q *Queue) runJob(j *job) {
 	if j.timeout > 0 {
 		runCtx, stopTimer = context.WithTimeout(ctx, j.timeout)
 	}
+	runCtx = context.WithValue(runCtx, progressKey{}, j.setProgress)
 	j.state = Running
 	j.started = time.Now()
 	j.cancel = cancel
 	task := j.task
 	j.mu.Unlock()
 	if lg := q.cfg.Logger; lg != nil {
-		lg.Info("job started", "job", j.id)
+		if j.trace != "" {
+			lg.Info("job started", "job", j.id, "trace", j.trace)
+		} else {
+			lg.Info("job started", "job", j.id)
+		}
 	}
 
 	result, err := runTask(task, runCtx, j.setPhase)
@@ -499,13 +515,14 @@ func (q *Queue) finish(snap Snapshot) {
 		if !snap.Started.IsZero() {
 			dur = snap.Finished.Sub(snap.Started)
 		}
-		if snap.Err != nil {
-			lg.Info("job finished", "job", snap.ID, "state", snap.State.String(),
-				"dur", dur, "err", snap.Err)
-		} else {
-			lg.Info("job finished", "job", snap.ID, "state", snap.State.String(),
-				"dur", dur)
+		attrs := []any{"job", snap.ID, "state", snap.State.String(), "dur", dur}
+		if snap.Trace != "" {
+			attrs = append(attrs, "trace", snap.Trace)
 		}
+		if snap.Err != nil {
+			attrs = append(attrs, "err", snap.Err)
+		}
+		lg.Info("job finished", attrs...)
 	}
 	if q.cfg.OnFinish != nil {
 		q.cfg.OnFinish(snap)
@@ -516,6 +533,26 @@ func (j *job) setPhase(phase string) {
 	j.mu.Lock()
 	j.phase = phase
 	j.mu.Unlock()
+}
+
+func (j *job) setProgress(v any) {
+	j.mu.Lock()
+	j.progress = v
+	j.mu.Unlock()
+}
+
+// progressKey carries a job's progress setter in its run context.
+type progressKey struct{}
+
+// PublishProgress stores v as the running job's progress value, visible in
+// subsequent Snapshots (and through GET /v1/jobs/{id}/progress at the HTTP
+// layer). It is a no-op when ctx does not belong to a jobqueue task. v must
+// be treated as immutable once published: snapshots hand out the same value
+// concurrently.
+func PublishProgress(ctx context.Context, v any) {
+	if set, ok := ctx.Value(progressKey{}).(func(any)); ok {
+		set(v)
+	}
 }
 
 // runTask isolates task panics so one bad job fails instead of killing the

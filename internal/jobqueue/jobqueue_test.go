@@ -300,3 +300,44 @@ func TestPhaseAndListVisibility(t *testing.T) {
 	close(release)
 	waitState(t, q, snap.ID, Done)
 }
+
+// TestProgressAndTraceVisibility covers the live-progress channel: a task's
+// PublishProgress values surface in snapshots while it runs, the submitted
+// trace ID rides every snapshot, and progress from a foreign context is a
+// safe no-op.
+func TestProgressAndTraceVisibility(t *testing.T) {
+	q := New(Config{Capacity: 4, Workers: 1})
+	defer q.Shutdown(context.Background())
+
+	published := make(chan struct{})
+	release := make(chan struct{})
+	task := func(ctx context.Context, setPhase func(string)) (any, error) {
+		PublishProgress(ctx, 1)
+		PublishProgress(ctx, 42) // later value wins
+		close(published)
+		<-release
+		return "ok", nil
+	}
+	snap, err := q.Submit(task, SubmitOptions{Trace: "chip-1/r0#1"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if snap.Trace != "chip-1/r0#1" {
+		t.Fatalf("submit snapshot trace = %q", snap.Trace)
+	}
+	<-published
+	got, err := q.Get(snap.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Progress != 42 {
+		t.Fatalf("running progress = %v, want 42", got.Progress)
+	}
+	close(release)
+	final := waitState(t, q, snap.ID, Done)
+	if final.Trace != "chip-1/r0#1" || final.Progress != 42 {
+		t.Fatalf("final snapshot trace/progress = %q/%v", final.Trace, final.Progress)
+	}
+
+	PublishProgress(context.Background(), "ignored") // foreign ctx: no-op
+}

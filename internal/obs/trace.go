@@ -26,23 +26,25 @@ type SpanID int64
 // (empty Name) is ignored, which lets fixed-arity APIs stand in for
 // variadic ones without allocating.
 type Arg struct {
-	Name  string
-	Value int64
+	Name  string `json:"n,omitempty"`
+	Value int64  `json:"v,omitempty"`
 }
 
 // SpanRec is one recorded event: a completed span (Instant false) with a
 // start and duration, or an instant event (Instant true) marking a point in
-// time. Start is measured from the tracer's epoch.
+// time. Start is measured from the tracer's epoch. The JSON tags are the
+// wire form a TraceDump ships between processes (durations as int64
+// nanoseconds).
 type SpanRec struct {
-	ID      SpanID
-	Parent  SpanID
-	TID     int32 // display lane: 0 for the orchestrating goroutine, 1+worker for tile lanes
-	Instant bool
-	Cat     string
-	Name    string
-	Start   time.Duration
-	Dur     time.Duration
-	Args    [2]Arg
+	ID      SpanID        `json:"id"`
+	Parent  SpanID        `json:"parent,omitempty"`
+	TID     int32         `json:"tid,omitempty"` // display lane: 0 for the orchestrating goroutine, 1+worker for tile lanes
+	Instant bool          `json:"instant,omitempty"`
+	Cat     string        `json:"cat,omitempty"`
+	Name    string        `json:"name"`
+	Start   time.Duration `json:"start"`
+	Dur     time.Duration `json:"dur,omitempty"`
+	Args    [2]Arg        `json:"args,omitempty"`
 }
 
 // DefaultTraceCapacity bounds the span ring buffer when NewTracer is given

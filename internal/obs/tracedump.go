@@ -1,0 +1,131 @@
+// tracedump.go ships span buffers across process boundaries: a TraceDump is
+// the serializable snapshot of one tracer's retained records plus the wall-
+// clock epoch they are measured from, and WriteMergedChromeTrace folds any
+// number of dumps — coordinator and workers — into a single Chrome
+// trace-event document with one process lane group per dump.
+//
+// Clock alignment: every span's Start is relative to its own tracer's epoch,
+// and each dump carries that epoch as wall-clock Unix nanoseconds, so the
+// merge places processes on a common axis by epoch difference alone. Wall
+// clocks across machines skew, so ProcessTrace.Offset lets the caller apply
+// a correction — the cluster layer clamps each worker's dump forward so its
+// spans never begin before the coordinator submitted the attempt that
+// produced them (the submit timestamp is a hard happens-before bound).
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"time"
+)
+
+// TraceDump is the serializable form of a tracer's retained spans.
+type TraceDump struct {
+	// Process labels the originating process (e.g. a worker URL); the merge
+	// uses it as the lane-group name.
+	Process string `json:"process,omitempty"`
+	// EpochUnixNano is the tracer's epoch on the originating process's wall
+	// clock; every span Start is relative to it.
+	EpochUnixNano int64 `json:"epoch_unix_nano"`
+	// Dropped counts records lost to ring-buffer wrap-around before the dump.
+	Dropped int64 `json:"dropped,omitempty"`
+	// Spans are the retained records in chronological start order.
+	Spans []SpanRec `json:"spans"`
+}
+
+// Dump snapshots the tracer for shipping. A nil tracer dumps to nil.
+func (t *Tracer) Dump(process string) *TraceDump {
+	if t == nil {
+		return nil
+	}
+	return &TraceDump{
+		Process:       process,
+		EpochUnixNano: t.epoch.UnixNano(),
+		Dropped:       t.Dropped(),
+		Spans:         t.Snapshot(),
+	}
+}
+
+// ProcessTrace is one process's contribution to a merged trace.
+type ProcessTrace struct {
+	// Name is the lane-group label in the merged document; empty falls back
+	// to the dump's Process, then to "proc-N".
+	Name string
+	// Dump holds the spans. A nil dump contributes only its lane metadata.
+	Dump *TraceDump
+	// Offset is an extra shift applied after epoch alignment — the clock-skew
+	// correction (see the package comment on tracedump.go).
+	Offset time.Duration
+}
+
+// WriteMergedChromeTrace renders the dumps as one Chrome trace-event JSON
+// document: process i gets pid i+1 and a process_name metadata record, spans
+// keep their within-process lane (tid) and parentage, and timestamps are
+// aligned onto a common axis by each dump's epoch plus its Offset. The
+// earliest aligned epoch is the document's time zero.
+func WriteMergedChromeTrace(w io.Writer, procs []ProcessTrace) error {
+	if len(procs) == 0 {
+		return fmt.Errorf("obs: no process traces to merge")
+	}
+	// Reference: the earliest aligned epoch, so every ts is non-negative.
+	var ref int64
+	first := true
+	for _, p := range procs {
+		if p.Dump == nil {
+			continue
+		}
+		e := p.Dump.EpochUnixNano + int64(p.Offset)
+		if first || e < ref {
+			ref, first = e, false
+		}
+	}
+	events := make([]chromeEvent, 0, 64)
+	for i, p := range procs {
+		pid := i + 1
+		name := p.Name
+		if name == "" && p.Dump != nil {
+			name = p.Dump.Process
+		}
+		if name == "" {
+			name = fmt.Sprintf("proc-%d", pid)
+		}
+		events = append(events, chromeEvent{
+			Name: "process_name", Ph: "M", PID: pid,
+			Args: map[string]any{"name": name},
+		})
+		if p.Dump == nil {
+			continue
+		}
+		base := time.Duration(p.Dump.EpochUnixNano + int64(p.Offset) - ref)
+		for _, r := range p.Dump.Spans {
+			ev := chromeEvent{
+				Name: r.Name,
+				Cat:  r.Cat,
+				Ph:   "X",
+				TS:   float64(base+r.Start) / 1e3,
+				PID:  pid,
+				TID:  int(r.TID),
+				Args: map[string]any{"span": int64(r.ID), "parent": int64(r.Parent)},
+			}
+			if r.Instant {
+				ev.Ph = "i"
+				ev.Scope = "t"
+			} else {
+				dur := float64(r.Dur) / 1e3
+				ev.Dur = &dur
+			}
+			for _, a := range r.Args {
+				if a.Name != "" {
+					ev.Args[a.Name] = a.Value
+				}
+			}
+			events = append(events, ev)
+		}
+	}
+	doc := struct {
+		TraceEvents     []chromeEvent `json:"traceEvents"`
+		DisplayTimeUnit string        `json:"displayTimeUnit"`
+	}{TraceEvents: events, DisplayTimeUnit: "ms"}
+	return json.NewEncoder(w).Encode(doc)
+}

@@ -1,0 +1,246 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestTraceDumpMergeRoundTrip is the span-shipping contract end to end: two
+// tracers record, dump, cross a JSON wire boundary, merge into one Chrome
+// trace, and the result passes the multi-process lint — including the
+// no-orphan-parents check and the clock-alignment offsets.
+func TestTraceDumpMergeRoundTrip(t *testing.T) {
+	coord := NewTracer(64)
+	chip := coord.Start("phase", "chip", 0, 0)
+	region := coord.Start("cluster", "region", 0, chip.ID())
+	region.End()
+	chip.End()
+
+	worker := NewTracer(64)
+	run := worker.Start("phase", "run", 0, 0)
+	tile := worker.Start("tile", "tile", 1, run.ID())
+	tile.Arg("i", 2)
+	tile.End()
+	run.End()
+
+	// Ship the worker dump across a JSON boundary, as the report payload does.
+	wire, err := json.Marshal(worker.Dump("worker-1"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var shipped TraceDump
+	if err := json.Unmarshal(wire, &shipped); err != nil {
+		t.Fatal(err)
+	}
+	if len(shipped.Spans) != 2 {
+		t.Fatalf("shipped %d spans, want 2", len(shipped.Spans))
+	}
+	if shipped.Process != "worker-1" || shipped.EpochUnixNano == 0 {
+		t.Fatalf("dump header lost on the wire: %+v", shipped)
+	}
+	orig := worker.Snapshot()
+	for i, r := range shipped.Spans {
+		if r != orig[i] {
+			t.Fatalf("span %d changed on the wire: %+v != %+v", i, r, orig[i])
+		}
+	}
+
+	var buf bytes.Buffer
+	err = WriteMergedChromeTrace(&buf, []ProcessTrace{
+		{Name: "coordinator", Dump: coord.Dump("coordinator")},
+		{Dump: &shipped, Offset: 5 * time.Millisecond},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	stats, err := LintChromeTrace(buf.Bytes(), []string{"chip", "region", "run", "tile"}, true)
+	if err != nil {
+		t.Fatalf("merged trace failed lint: %v\n%s", err, buf.String())
+	}
+	if stats.Processes != 2 {
+		t.Fatalf("lint saw %d processes, want 2", stats.Processes)
+	}
+	if stats.Spans != 4 {
+		t.Fatalf("lint saw %d spans, want 4", stats.Spans)
+	}
+
+	// The process_name metadata lanes must carry the given labels.
+	var doc struct {
+		TraceEvents []map[string]any `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatal(err)
+	}
+	lanes := map[string]bool{}
+	for _, ev := range doc.TraceEvents {
+		if ev["ph"] == "M" {
+			lanes[ev["args"].(map[string]any)["name"].(string)] = true
+		}
+	}
+	if !lanes["coordinator"] || !lanes["worker-1"] {
+		t.Errorf("process lanes = %v, want coordinator and worker-1", lanes)
+	}
+}
+
+// TestMergedTraceClockAlignment pins the time-axis rule: the earliest
+// aligned epoch is time zero, and a positive Offset shifts a process's
+// spans forward on the shared axis.
+func TestMergedTraceClockAlignment(t *testing.T) {
+	early := &TraceDump{
+		Process:       "a",
+		EpochUnixNano: 1_000_000_000,
+		Spans:         []SpanRec{{ID: 1, Name: "run", Start: 0, Dur: time.Millisecond}},
+	}
+	late := &TraceDump{
+		Process:       "b",
+		EpochUnixNano: 1_000_000_000 + int64(2*time.Millisecond),
+		Spans:         []SpanRec{{ID: 1, Name: "run", Start: 0, Dur: time.Millisecond}},
+	}
+	var buf bytes.Buffer
+	err := WriteMergedChromeTrace(&buf, []ProcessTrace{
+		{Dump: early},
+		{Dump: late, Offset: time.Millisecond},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []lintEvent `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatal(err)
+	}
+	ts := map[int]float64{}
+	for _, ev := range doc.TraceEvents {
+		if ev.Ph == "X" {
+			ts[*ev.PID] = *ev.TS
+		}
+	}
+	if ts[1] != 0 {
+		t.Errorf("earliest process ts = %g µs, want 0", ts[1])
+	}
+	// Process b: 2ms epoch gap + 1ms offset = 3000 µs.
+	if ts[2] != 3000 {
+		t.Errorf("offset process ts = %g µs, want 3000", ts[2])
+	}
+}
+
+func TestLintRejectsOrphanParents(t *testing.T) {
+	doc := `{"traceEvents":[
+		{"name":"a","cat":"c","ph":"X","ts":0,"dur":1,"pid":1,"tid":0,"args":{"span":1,"parent":0}},
+		{"name":"b","cat":"c","ph":"X","ts":0,"dur":1,"pid":2,"tid":0,"args":{"span":1,"parent":99}}
+	]}`
+	if _, err := LintChromeTrace([]byte(doc), nil, true); err == nil {
+		t.Fatal("lint accepted a trace with an orphan parent")
+	}
+	// The same parent link is fine when it resolves within its pid.
+	ok := `{"traceEvents":[
+		{"name":"a","cat":"c","ph":"X","ts":0,"dur":1,"pid":1,"tid":0,"args":{"span":1,"parent":0}},
+		{"name":"p","cat":"c","ph":"X","ts":0,"dur":2,"pid":2,"tid":0,"args":{"span":99,"parent":0}},
+		{"name":"b","cat":"c","ph":"X","ts":0,"dur":1,"pid":2,"tid":0,"args":{"span":1,"parent":99}}
+	]}`
+	if _, err := LintChromeTrace([]byte(ok), nil, true); err != nil {
+		t.Fatalf("lint rejected a valid multi-process trace: %v", err)
+	}
+}
+
+func TestLintSingleProcessRejectsMulti(t *testing.T) {
+	tr := NewTracer(8)
+	sp := tr.Start("phase", "run", 0, 0)
+	sp.End()
+	var buf bytes.Buffer
+	if err := tr.WriteChromeTrace(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LintChromeTrace(buf.Bytes(), []string{"run"}, false); err != nil {
+		t.Fatalf("single-process lint failed: %v", err)
+	}
+	if _, err := LintChromeTrace(buf.Bytes(), nil, true); err == nil {
+		t.Fatal("multi-process lint accepted a single-process trace")
+	}
+}
+
+func TestNilTracerDump(t *testing.T) {
+	var tr *Tracer
+	if d := tr.Dump("x"); d != nil {
+		t.Fatalf("nil tracer dump = %+v, want nil", d)
+	}
+}
+
+// TestRegistryConcurrentScrape hammers every instrument kind while scrapes
+// run, under -race: updates and Write must be safe to interleave, and the
+// final scrape must still pass the exposition lint with all updates counted.
+func TestRegistryConcurrentScrape(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("scrape_jobs_total", "help")
+	cv := r.CounterVec("scrape_finished_total", "help", "state")
+	g := r.Gauge("scrape_depth", "help")
+	gv := r.GaugeVec("scrape_jobs", "help", "state")
+	h := r.Histogram("scrape_seconds", "help", []float64{0.1, 1})
+	hv := r.HistogramVec("scrape_method_seconds", "help", "method", []float64{0.1, 1})
+
+	const writers, rounds = 8, 200
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			state := []string{"done", "failed"}[w%2]
+			for i := 0; i < rounds; i++ {
+				c.Inc()
+				cv.Inc(state)
+				g.Set(float64(i))
+				gv.Set(state, float64(i))
+				h.Observe(float64(i) / 100)
+				hv.Observe(state, float64(i)/100)
+			}
+		}(w)
+	}
+	scrapeDone := make(chan error, 1)
+	go func() {
+		var firstErr error
+		for i := 0; i < 50; i++ {
+			var buf bytes.Buffer
+			if err := r.Write(&buf); err != nil && firstErr == nil {
+				firstErr = err
+			}
+			if _, err := LintExposition(&buf); err != nil && firstErr == nil {
+				firstErr = err
+			}
+		}
+		scrapeDone <- firstErr
+	}()
+	wg.Wait()
+	if err := <-scrapeDone; err != nil {
+		t.Fatalf("scrape during update: %v", err)
+	}
+
+	var buf bytes.Buffer
+	if err := r.Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	fams, err := LintExposition(&buf)
+	if err != nil {
+		t.Fatalf("final scrape failed lint: %v", err)
+	}
+	byName := map[string]*ExpFamily{}
+	for _, f := range fams {
+		byName[f.Name] = f
+	}
+	if got := byName["scrape_jobs_total"].Samples[0].Value; got != writers*rounds {
+		t.Errorf("counter = %g, want %d", got, writers*rounds)
+	}
+	var cvSum float64
+	for _, s := range byName["scrape_finished_total"].Samples {
+		cvSum += s.Value
+	}
+	if cvSum != writers*rounds {
+		t.Errorf("counter vec total = %g, want %d", cvSum, writers*rounds)
+	}
+	if c.Value() != writers*rounds {
+		t.Errorf("Counter.Value() = %g, want %d", c.Value(), writers*rounds)
+	}
+}

@@ -1,0 +1,131 @@
+// tracelint.go validates Chrome trace-event JSON documents — the shared
+// checker behind cmd/tracecheck and the cluster merged-trace smoke tests.
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// TraceLintStats summarizes a linted trace document.
+type TraceLintStats struct {
+	// Events counts every trace event, metadata included.
+	Events int
+	// Spans counts complete ("X") events.
+	Spans int
+	// Processes counts distinct pids among non-metadata events.
+	Processes int
+	// Names counts events per name.
+	Names map[string]int
+}
+
+// lintEvent mirrors the fields LintChromeTrace checks. Pointer fields
+// distinguish "absent" from zero.
+type lintEvent struct {
+	Name string         `json:"name"`
+	Ph   string         `json:"ph"`
+	TS   *float64       `json:"ts"`
+	Dur  *float64       `json:"dur"`
+	PID  *int           `json:"pid"`
+	TID  *int           `json:"tid"`
+	Args map[string]any `json:"args"`
+}
+
+// LintChromeTrace validates a Chrome trace-event document: it must parse,
+// be non-empty, and every complete ("X") or instant ("i") event must carry
+// ts/pid/tid, with dur >= 0 on complete events. Each name in requireNames
+// must appear on at least one event. With multiProcess set the document must
+// additionally span at least two distinct pids and, per pid, every span's
+// recorded parent (args.parent) must be 0 or the args.span of another event
+// in the same pid — the no-orphan-parents contract of a merged trace.
+func LintChromeTrace(data []byte, requireNames []string, multiProcess bool) (TraceLintStats, error) {
+	stats := TraceLintStats{Names: map[string]int{}}
+	var doc struct {
+		TraceEvents []lintEvent `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(data, &doc); err != nil {
+		return stats, fmt.Errorf("parse: %w", err)
+	}
+	if len(doc.TraceEvents) == 0 {
+		return stats, fmt.Errorf("no traceEvents")
+	}
+
+	pids := map[int]bool{}
+	// Per pid: declared span IDs, and the parent references to resolve.
+	spansByPID := map[int]map[int64]bool{}
+	parentsByPID := map[int][]int64{}
+	for i, ev := range doc.TraceEvents {
+		stats.Events++
+		stats.Names[ev.Name]++
+		if ev.PID == nil {
+			return stats, fmt.Errorf("event %d (%q): missing pid", i, ev.Name)
+		}
+		if ev.Ph == "M" {
+			continue // metadata events carry no timestamp
+		}
+		pids[*ev.PID] = true
+		switch ev.Ph {
+		case "X", "i":
+			if ev.TS == nil {
+				return stats, fmt.Errorf("event %d (%q): missing ts", i, ev.Name)
+			}
+			if *ev.TS < 0 {
+				return stats, fmt.Errorf("event %d (%q): negative ts %g", i, ev.Name, *ev.TS)
+			}
+			if ev.TID == nil {
+				return stats, fmt.Errorf("event %d (%q): missing tid", i, ev.Name)
+			}
+		default:
+			return stats, fmt.Errorf("event %d (%q): unexpected phase %q", i, ev.Name, ev.Ph)
+		}
+		if ev.Ph == "X" {
+			stats.Spans++
+			if ev.Dur == nil {
+				return stats, fmt.Errorf("event %d (%q): complete event missing dur", i, ev.Name)
+			}
+			if *ev.Dur < 0 {
+				return stats, fmt.Errorf("event %d (%q): negative dur %g", i, ev.Name, *ev.Dur)
+			}
+		}
+		// Span identity/parentage ride in args as JSON numbers (float64).
+		if id, ok := ev.Args["span"].(float64); ok {
+			m := spansByPID[*ev.PID]
+			if m == nil {
+				m = map[int64]bool{}
+				spansByPID[*ev.PID] = m
+			}
+			m[int64(id)] = true
+		}
+		if p, ok := ev.Args["parent"].(float64); ok && p != 0 {
+			parentsByPID[*ev.PID] = append(parentsByPID[*ev.PID], int64(p))
+		}
+	}
+	stats.Processes = len(pids)
+
+	for _, want := range requireNames {
+		if stats.Names[want] == 0 {
+			return stats, fmt.Errorf("no %q events found", want)
+		}
+	}
+
+	if multiProcess {
+		if stats.Processes < 2 {
+			return stats, fmt.Errorf("multi-process trace has %d process(es), want >= 2", stats.Processes)
+		}
+		var badPIDs []string
+		for pid, parents := range parentsByPID {
+			for _, p := range parents {
+				if !spansByPID[pid][p] {
+					badPIDs = append(badPIDs, fmt.Sprintf("pid %d parent %d", pid, p))
+				}
+			}
+		}
+		if len(badPIDs) > 0 {
+			sort.Strings(badPIDs)
+			return stats, fmt.Errorf("orphan span parents: %s", strings.Join(badPIDs, ", "))
+		}
+	}
+	return stats, nil
+}

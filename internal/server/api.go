@@ -11,6 +11,7 @@ import (
 	"pilfill"
 	"pilfill/internal/core"
 	"pilfill/internal/jobqueue"
+	"pilfill/internal/obs"
 )
 
 // SubmitRequest is the body of POST /v1/jobs. Exactly one of Testcase and
@@ -56,6 +57,10 @@ type SubmitOptions struct {
 	// DualGapTol is DualAscent's relative duality-gap acceptance threshold;
 	// 0 selects the default (1e-9).
 	DualGapTol float64 `json:"dual_gap_tol,omitempty"`
+	// CollectTrace records the run's obs spans and ships them in the report
+	// payload (ReportPayload.Trace), letting a coordinator merge worker spans
+	// into one cluster-wide Chrome trace.
+	CollectTrace bool `json:"collect_trace,omitempty"`
 }
 
 // JobView is the response of POST /v1/jobs, GET /v1/jobs/{id} and
@@ -66,13 +71,19 @@ type JobView struct {
 	// Phase is the job's current phase while running ("load", "prepare",
 	// "solve"); for finished jobs the phase timing breakdown is in
 	// Report.PhasesMS.
-	Phase     string         `json:"phase,omitempty"`
-	Method    string         `json:"method,omitempty"`
-	Submitted time.Time      `json:"submitted"`
-	Started   *time.Time     `json:"started,omitempty"`
-	Finished  *time.Time     `json:"finished,omitempty"`
-	Error     string         `json:"error,omitempty"`
-	Report    *ReportPayload `json:"report,omitempty"`
+	Phase     string     `json:"phase,omitempty"`
+	Method    string     `json:"method,omitempty"`
+	Submitted time.Time  `json:"submitted"`
+	Started   *time.Time `json:"started,omitempty"`
+	Finished  *time.Time `json:"finished,omitempty"`
+	// TraceID is the distributed request/trace ID bound at submission (the
+	// X-Request-ID header), echoed so pollers can correlate across processes.
+	TraceID string `json:"trace_id,omitempty"`
+	// Progress is the live solve-progress snapshot while the job runs (also
+	// available alone at GET /v1/jobs/{id}/progress).
+	Progress *ProgressPayload `json:"progress,omitempty"`
+	Error    string           `json:"error,omitempty"`
+	Report   *ReportPayload   `json:"report,omitempty"`
 }
 
 // ListResponse is the response of GET /v1/jobs. When the listing was
@@ -119,6 +130,12 @@ type ReportPayload struct {
 	// Region carries a sharded region job's merge inputs (fills and delay
 	// subtotals in chip coordinates); nil for whole-layout jobs.
 	Region *RegionPayload `json:"region,omitempty"`
+	// Trace is the run's serialized span buffer, present only when the
+	// submission asked for it (SubmitOptions.CollectTrace). It rides the
+	// report — not the region merge inputs — so WAL-cached region results
+	// stay lean; a region replayed from the coordinator's WAL therefore
+	// contributes no spans to a merged trace.
+	Trace *obs.TraceDump `json:"trace,omitempty"`
 }
 
 // PhasesPayload is core.PhaseTimes in milliseconds.
@@ -227,6 +244,7 @@ func viewOf(snap jobqueue.Snapshot, method string) JobView {
 		State:     snap.State.String(),
 		Method:    method,
 		Submitted: snap.Submitted,
+		TraceID:   snap.Trace,
 	}
 	if !snap.Started.IsZero() {
 		t := snap.Started
@@ -242,6 +260,7 @@ func viewOf(snap jobqueue.Snapshot, method string) JobView {
 	switch snap.State {
 	case jobqueue.Running:
 		v.Phase = snap.Phase
+		v.Progress = progressOf(snap)
 	case jobqueue.Done:
 		if rep, ok := snap.Result.(*ReportPayload); ok {
 			v.Report = rep

@@ -31,6 +31,7 @@ type metrics struct {
 	solveWall     *obs.Histogram    // end-to-end wall seconds per finished job
 	methodCPU     *obs.HistogramVec // solver CPU seconds by placement method
 	phase         *obs.HistogramVec // seconds by pipeline phase
+	progressTiles *obs.Counter      // tile solves completed, counted live
 
 	mu    sync.Mutex
 	queue jobqueue.Stats // refreshed by scrape, read by the sample closures
@@ -116,6 +117,9 @@ func newMetrics() *metrics {
 	m.phase = reg.HistogramVec("pilfilld_phase_seconds",
 		"Per-phase seconds per finished job (preprocess/solve/evaluate/place).",
 		"phase", nil)
+	m.progressTiles = reg.Counter("pilfilld_progress_tiles_total",
+		"Tile solves completed, counted as they finish (advances while jobs "+
+			"run, unlike the per-job figures observed at completion).")
 
 	reg.CounterSamples("pilfilld_captable_cache_hits_total",
 		"Shared cap-table cache hits (process-wide).", func() []obs.Sample {

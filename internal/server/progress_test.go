@@ -1,0 +1,124 @@
+package server_test
+
+import (
+	"encoding/json"
+	"net/http"
+	"strings"
+	"testing"
+
+	"pilfill/internal/jobqueue"
+	"pilfill/internal/server"
+)
+
+// TestProgressAndTraceCollection runs a real T1 job with collect_trace set
+// and checks the three observability surfaces the worker exposes: the final
+// progress snapshot counts every solved tile, /v1/jobs/{id}/progress serves
+// the polling view, the report ships a span dump, and the tiles counter
+// lands in /metrics.
+func TestProgressAndTraceCollection(t *testing.T) {
+	_, ts := startServer(t, server.Config{Queue: jobqueue.Config{Capacity: 4, Workers: 1}})
+
+	code, data := doJSON(t, http.MethodPost, ts.URL+"/v1/jobs", server.SubmitRequest{
+		Testcase: "T1",
+		Method:   "Greedy",
+		Options:  server.SubmitOptions{Window: 32, R: 4, Seed: 1, CollectTrace: true},
+	})
+	if code != http.StatusAccepted {
+		t.Fatalf("submit: %d %s", code, data)
+	}
+	var sub server.JobView
+	if err := json.Unmarshal(data, &sub); err != nil {
+		t.Fatal(err)
+	}
+	if sub.TraceID == "" {
+		t.Fatal("submitted job carries no trace id (request id should bind)")
+	}
+
+	final := pollJob(t, ts.URL, sub.ID, func(v server.JobView) bool { return v.State == "done" || v.State == "failed" })
+	if final.State != "done" {
+		t.Fatalf("job finished %s: %s", final.State, final.Error)
+	}
+	rep := final.Report
+	if rep == nil || rep.Trace == nil {
+		t.Fatal("collect_trace job shipped no span dump")
+	}
+	if len(rep.Trace.Spans) == 0 || rep.Trace.EpochUnixNano == 0 {
+		t.Fatalf("span dump empty: %+v", rep.Trace)
+	}
+	names := map[string]bool{}
+	for _, sp := range rep.Trace.Spans {
+		names[sp.Name] = true
+	}
+	for _, want := range []string{"run", "tile", "solve"} {
+		if !names[want] {
+			t.Errorf("span dump missing %q spans", want)
+		}
+	}
+
+	// The terminal progress endpoint must agree with the report's tile count.
+	code, data = doJSON(t, http.MethodGet, ts.URL+"/v1/jobs/"+sub.ID+"/progress", nil)
+	if code != http.StatusOK {
+		t.Fatalf("GET progress: %d %s", code, data)
+	}
+	var prog struct {
+		ID    string `json:"id"`
+		State string `json:"state"`
+		server.ProgressPayload
+	}
+	if err := json.Unmarshal(data, &prog); err != nil {
+		t.Fatal(err)
+	}
+	if prog.State != "done" || prog.TilesDone != rep.Tiles || prog.TilesTotal != rep.Tiles {
+		t.Fatalf("progress %+v does not match report tiles %d", prog, rep.Tiles)
+	}
+
+	code, data = doJSON(t, http.MethodGet, ts.URL+"/metrics", nil)
+	if code != http.StatusOK {
+		t.Fatalf("GET metrics: %d", code)
+	}
+	found := false
+	for _, line := range strings.Split(string(data), "\n") {
+		if strings.HasPrefix(line, "pilfilld_progress_tiles_total ") {
+			found = true
+			if strings.TrimPrefix(line, "pilfilld_progress_tiles_total ") == "0" {
+				t.Errorf("tiles counter stayed 0 after a %d-tile job", rep.Tiles)
+			}
+		}
+	}
+	if !found {
+		t.Error("pilfilld_progress_tiles_total missing from exposition")
+	}
+
+	code, data = doJSON(t, http.MethodGet, ts.URL+"/v1/jobs/nope/progress", nil)
+	if code != http.StatusNotFound {
+		t.Fatalf("GET progress for unknown job: %d %s", code, data)
+	}
+}
+
+// TestRequestIDAssignedWithoutLogger pins the propagation bugfix: the
+// request-id middleware must run (echoing and minting X-Request-ID) even on
+// a server with no logger configured, because submission binds the id to the
+// job as its trace.
+func TestRequestIDAssignedWithoutLogger(t *testing.T) {
+	_, ts := startServer(t, server.Config{Queue: jobqueue.Config{Capacity: 2, Workers: 1}})
+
+	resp, err := http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.Header.Get("X-Request-ID") == "" {
+		t.Fatal("no X-Request-ID echoed without a logger")
+	}
+
+	req, _ := http.NewRequest(http.MethodGet, ts.URL+"/healthz", nil)
+	req.Header.Set("X-Request-ID", "chip-7/r1x1-0-0#2")
+	resp, err = http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if got := resp.Header.Get("X-Request-ID"); got != "chip-7/r1x1-0-0#2" {
+		t.Fatalf("incoming request id not honored: %q", got)
+	}
+}

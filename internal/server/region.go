@@ -26,6 +26,7 @@ import (
 	"pilfill/internal/ilp"
 	"pilfill/internal/jobqueue"
 	"pilfill/internal/layout"
+	"pilfill/internal/obs"
 )
 
 // RegionSpec is the region-job extension of SubmitRequest: solve only the
@@ -86,6 +87,32 @@ type RegionPayload struct {
 	// little-endian col then row, 16 bytes per fill).
 	Fills    [][2]int `json:"fills"`
 	FillHash string   `json:"fill_hash"`
+	// SlowTiles are the region's slowest tile solves (chip-grid coordinates,
+	// slowest first) — the coordinator merges them into the cluster-wide
+	// slowest-tiles table on /statusz. Wall-clock measurements: informative,
+	// excluded from the bit-identity contract.
+	SlowTiles []TileMS `json:"slow_tiles,omitempty"`
+}
+
+// TileMS is one slowest-tiles entry: chip tile coordinates, solve duration
+// in milliseconds, and the branch-and-bound nodes behind it.
+type TileMS struct {
+	I     int     `json:"i"`
+	J     int     `json:"j"`
+	MS    float64 `json:"ms"`
+	Nodes int     `json:"nodes,omitempty"`
+}
+
+// slowTilesOf converts a Result's top-K list to the wire form.
+func slowTilesOf(res *core.Result) []TileMS {
+	if len(res.SlowestTiles) == 0 {
+		return nil
+	}
+	out := make([]TileMS, len(res.SlowestTiles))
+	for i, t := range res.SlowestTiles {
+		out[i] = TileMS{I: t.I, J: t.J, MS: float64(t.Dur) / 1e6, Nodes: t.Nodes}
+	}
+	return out
 }
 
 // FillHasher accumulates the FNV-1a fill hash in benchchip's byte layout
@@ -138,7 +165,7 @@ func validateRegion(spec *RegionSpec) (layout.FillRule, error) {
 // validate-up-front shape but drives core.Engine directly: the budget comes
 // from the coordinator (computed once for the whole chip), so the session
 // layer's own density budgeting must not run.
-func regionTask(req *SubmitRequest, queueWorkers int) (jobqueue.Task, error) {
+func regionTask(req *SubmitRequest, queueWorkers int, progressTiles *obs.Counter) (jobqueue.Task, error) {
 	m, ok := ParseMethod(req.Method)
 	if !ok {
 		return nil, fmt.Errorf("unknown method %q", req.Method)
@@ -162,6 +189,8 @@ func regionTask(req *SubmitRequest, queueWorkers int) (jobqueue.Task, error) {
 	defText := req.DEF
 
 	return func(ctx context.Context, setPhase func(string)) (any, error) {
+		tracker := newProgressTracker(func(v any) { jobqueue.PublishProgress(ctx, v) }, progressTiles)
+		setPhase = tracker.wrapSetPhase(setPhase)
 		setPhase("load")
 		l, err := pilfill.LoadDEF(strings.NewReader(defText))
 		if err != nil {
@@ -195,9 +224,15 @@ func regionTask(req *SubmitRequest, queueWorkers int) (jobqueue.Task, error) {
 			NoSolveMemo: o.NoSolveMemo,
 			TileOffI:    spec.TileOffI,
 			TileOffJ:    spec.TileOffJ,
+			OnTile:      tracker.onTile,
 		}
 		if o.ILPNodeLimit > 0 {
 			cfg.ILPOpts = ilp.Options{MaxNodes: o.ILPNodeLimit}
+		}
+		var tr *obs.Tracer
+		if o.CollectTrace {
+			tr = obs.NewTracer(0)
+			cfg.Trace = tr
 		}
 		eng, err := core.NewEngine(l, dis, rule, cfg)
 		if err != nil {
@@ -217,6 +252,9 @@ func regionTask(req *SubmitRequest, queueWorkers int) (jobqueue.Task, error) {
 		if err != nil {
 			return nil, fmt.Errorf("region instances: %w", err)
 		}
+		// Instances() is the authoritative tile count: tiles with zero budget
+		// or no slack columns never become instances.
+		tracker.setTotal(len(instances))
 		if err := ctx.Err(); err != nil {
 			return nil, err
 		}
@@ -227,7 +265,9 @@ func regionTask(req *SubmitRequest, queueWorkers int) (jobqueue.Task, error) {
 			return nil, err
 		}
 		setPhase("report")
-		return buildRegionReport(&spec, l, res, o.Workers), nil
+		rep := buildRegionReport(&spec, l, res, o.Workers)
+		rep.Trace = tr.Dump("pilfilld/" + spec.ID)
+		return rep, nil
 	}, nil
 }
 
@@ -248,6 +288,7 @@ func buildRegionReport(spec *RegionSpec, l *layout.Layout, res *core.Result, wor
 		Unweighted: res.Unweighted,
 		Weighted:   res.Weighted,
 		Fills:      make([][2]int, 0, len(res.Fill.Fills)),
+		SlowTiles:  slowTilesOf(res),
 	}
 	fh := NewFillHasher()
 	for _, f := range res.Fill.Fills {

@@ -45,6 +45,7 @@ import (
 	"pilfill"
 	"pilfill/internal/jobqueue"
 	"pilfill/internal/layout"
+	"pilfill/internal/obs"
 	"pilfill/internal/testcases"
 )
 
@@ -112,7 +113,10 @@ func New(cfg Config) (*Server, error) {
 	}
 	s.ready.Store(true)
 	if s.factory == nil {
-		s.factory = DefaultTaskFactory(cfg.Queue.Workers)
+		queueWorkers := cfg.Queue.Workers
+		s.factory = func(req *SubmitRequest) (jobqueue.Task, error) {
+			return defaultTask(req, queueWorkers, s.metrics.progressTiles)
+		}
 	}
 	if cfg.Tenant != nil {
 		s.adm = jobqueue.NewTenantAdmission(*cfg.Tenant)
@@ -142,6 +146,7 @@ func New(cfg Config) (*Server, error) {
 	mux.HandleFunc("POST /v1/jobs", s.maxBody(cfg.MaxBodyBytes, s.handleSubmit))
 	mux.HandleFunc("GET /v1/jobs", s.handleList)
 	mux.HandleFunc("GET /v1/jobs/{id}", s.handleGet)
+	mux.HandleFunc("GET /v1/jobs/{id}/progress", s.handleProgress)
 	mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleCancel)
 	mux.HandleFunc("GET /healthz", s.handleHealth)
 	mux.HandleFunc("GET /readyz", s.handleReady)
@@ -226,18 +231,21 @@ func (w *statusWriter) WriteHeader(status int) {
 }
 
 // ServeHTTP implements http.Handler. Every request is assigned an id
-// (honoring an incoming X-Request-ID) that is echoed in the response header
-// and carried through the request log.
+// (honoring an incoming X-Request-ID — the coordinator's trace-propagation
+// channel) that is echoed in the response header, written back onto the
+// request headers so handlers read one canonical value, and carried through
+// the request log.
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	reqID := r.Header.Get("X-Request-ID")
+	if reqID == "" {
+		reqID = fmt.Sprintf("req-%08d", s.nextReq.Add(1))
+		r.Header.Set("X-Request-ID", reqID)
+	}
+	w.Header().Set("X-Request-ID", reqID)
 	if s.logger == nil {
 		s.mux.ServeHTTP(w, r)
 		return
 	}
-	reqID := r.Header.Get("X-Request-ID")
-	if reqID == "" {
-		reqID = fmt.Sprintf("req-%08d", s.nextReq.Add(1))
-	}
-	w.Header().Set("X-Request-ID", reqID)
 	sw := &statusWriter{ResponseWriter: w, status: http.StatusOK}
 	start := time.Now()
 	s.mux.ServeHTTP(sw, r)
@@ -308,6 +316,7 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	snap, deduped, err := s.q.SubmitKeyed(task, jobqueue.SubmitOptions{
 		Timeout: time.Duration(req.TimeoutMS) * time.Millisecond,
 		Key:     req.Key,
+		Trace:   r.Header.Get("X-Request-ID"),
 	})
 	if err != nil || deduped {
 		// No new job entered the queue: the admitted slot is unused.
@@ -377,6 +386,28 @@ func (s *Server) handleGet(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, viewOf(snap, s.methodLabel(id)))
 }
 
+// handleProgress serves just the live progress snapshot — the polling-
+// friendly subset of the job view the cluster coordinator forwards into its
+// chip-level aggregation. An empty object means the job has not published
+// progress yet (still pending, or a task without progress instrumentation).
+func (s *Server) handleProgress(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	snap, err := s.q.Get(id)
+	if errors.Is(err, jobqueue.ErrNotFound) {
+		writeError(w, http.StatusNotFound, "no job %q", id)
+		return
+	}
+	pp := progressOf(snap)
+	if pp == nil {
+		pp = &ProgressPayload{Phase: snap.Phase}
+	}
+	writeJSON(w, http.StatusOK, struct {
+		ID    string `json:"id"`
+		State string `json:"state"`
+		*ProgressPayload
+	}{ID: snap.ID, State: snap.State.String(), ProgressPayload: pp})
+}
+
 func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
 	id := r.PathValue("id")
 	snap, err := s.q.Cancel(id)
@@ -442,17 +473,19 @@ func EffectiveWorkers(requested, queueWorkers int) int {
 // DefaultTask is DefaultTaskFactory for a single-worker queue — kept for
 // callers that construct tasks directly.
 func DefaultTask(req *SubmitRequest) (jobqueue.Task, error) {
-	return defaultTask(req, 1)
+	return defaultTask(req, 1, nil)
 }
 
 // DefaultTaskFactory returns the production task factory for a queue running
 // queueWorkers jobs concurrently. Each job's tile-solver worker count is
 // resolved with EffectiveWorkers so the daemon's total parallelism stays
 // within GOMAXPROCS; the resolved value appears as "workers" in the job
-// report.
+// report. (A server built by New wires its own factory so the live tile
+// counter feeds pilfilld_progress_tiles_total; this exported form counts
+// nothing.)
 func DefaultTaskFactory(queueWorkers int) func(req *SubmitRequest) (jobqueue.Task, error) {
 	return func(req *SubmitRequest) (jobqueue.Task, error) {
-		return defaultTask(req, queueWorkers)
+		return defaultTask(req, queueWorkers, nil)
 	}
 }
 
@@ -462,9 +495,9 @@ func DefaultTaskFactory(queueWorkers int) func(req *SubmitRequest) (jobqueue.Tas
 // Cancellation between phases is checked explicitly; during the solve it
 // propagates through Session.RunContext to the tile loops and ILP node
 // loops.
-func defaultTask(req *SubmitRequest, queueWorkers int) (jobqueue.Task, error) {
+func defaultTask(req *SubmitRequest, queueWorkers int, progressTiles *obs.Counter) (jobqueue.Task, error) {
 	if req.Region != nil {
-		return regionTask(req, queueWorkers)
+		return regionTask(req, queueWorkers, progressTiles)
 	}
 	m, ok := ParseMethod(req.Method)
 	if !ok {
@@ -497,6 +530,8 @@ func defaultTask(req *SubmitRequest, queueWorkers int) (jobqueue.Task, error) {
 	reqCopy := *req // detach from the handler's request lifetime
 
 	return func(ctx context.Context, setPhase func(string)) (any, error) {
+		tracker := newProgressTracker(func(v any) { jobqueue.PublishProgress(ctx, v) }, progressTiles)
+		setPhase = tracker.wrapSetPhase(setPhase)
 		setPhase("load")
 		var l *layout.Layout
 		var err error
@@ -521,6 +556,10 @@ func defaultTask(req *SubmitRequest, queueWorkers int) (jobqueue.Task, error) {
 		}
 
 		setPhase("prepare")
+		var tr *obs.Tracer
+		if o.CollectTrace {
+			tr = obs.NewTracer(0)
+		}
 		sess, err := pilfill.NewSession(l, pilfill.Options{
 			Window:       testcases.WindowNM(o.Window),
 			R:            o.R,
@@ -534,10 +573,13 @@ func defaultTask(req *SubmitRequest, queueWorkers int) (jobqueue.Task, error) {
 			ILPNodeLimit: o.ILPNodeLimit,
 			NoSolveMemo:  o.NoSolveMemo,
 			DualGapTol:   o.DualGapTol,
+			Trace:        tr,
+			OnTile:       tracker.onTile,
 		})
 		if err != nil {
 			return nil, fmt.Errorf("prepare session: %w", err)
 		}
+		tracker.setTotal(len(sess.Instances))
 		if err := ctx.Err(); err != nil {
 			return nil, err
 		}
@@ -548,6 +590,8 @@ func defaultTask(req *SubmitRequest, queueWorkers int) (jobqueue.Task, error) {
 			return nil, err
 		}
 		setPhase("report")
-		return BuildReport(sess, rep), nil
+		payload := BuildReport(sess, rep)
+		payload.Trace = tr.Dump("pilfilld")
+		return payload, nil
 	}, nil
 }

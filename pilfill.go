@@ -134,7 +134,15 @@ type Options struct {
 	// ProgressNodes is the branch-and-bound node interval between solver
 	// progress events; 0 means the ilp package default.
 	ProgressNodes int
+	// OnTile, when set, is called once per completed tile solve (from the
+	// solve workers concurrently — the callback must be safe for concurrent
+	// use). The live-progress hook pilfilld builds its streaming API on; nil
+	// costs nothing.
+	OnTile func(TileEvent)
 }
+
+// TileEvent describes one completed tile solve for Options.OnTile.
+type TileEvent = core.TileEvent
 
 func (o *Options) withDefaults() Options {
 	out := *o
@@ -198,6 +206,7 @@ func NewSession(l *layout.Layout, opts Options) (*Session, error) {
 		Logger:        o.Logger,
 		SlowTile:      o.SlowTileThreshold,
 		ProgressNodes: o.ProgressNodes,
+		OnTile:        o.OnTile,
 	}
 	if o.ILPNodeLimit > 0 {
 		cfg.ILPOpts = ilp.Options{MaxNodes: o.ILPNodeLimit}
